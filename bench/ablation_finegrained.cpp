@@ -1,0 +1,100 @@
+// Ablation: coarse path-locking vs fine-grained (claim-based)
+// promotion -- the Section 5 future-work strategy, implemented.
+//
+// Section 5: "in the usp-tree benchmark, every visitation of a vertex
+// triggers a promotion to the root of hierarchy, causing a
+// serialization of visitations. However none of these promotions
+// overlap, so they ought to be able to proceed in parallel. In future
+// work, we intend to design a more fine-grained promotion strategy that
+// would permit parallel promotions to the same heap."
+//
+// This bench measures exactly that contrast. Expected shape: with
+// coarse locking, usp-tree's parallel run is no faster (often slower)
+// than sequential; with fine-grained claims the promotions to the root
+// overlap and the speedup recovers toward usp's. Kernels without
+// promotion (usp, msort) must be unaffected by the mode.
+#include <cstdio>
+
+#include "bench_common/harness.hpp"
+#include "bench_common/workloads.hpp"
+#include "core/hier_runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parmem::bench;
+  using parmem::HierRuntime;
+  using parmem::PromotionMode;
+  Options opt = parse_options(argc, argv);
+  const unsigned procs = opt.procs;
+
+  std::printf(
+      "Ablation: fine-grained promotion (Section 5 future work) (P=%u)\n\n",
+      procs);
+  std::printf("%-15s %-7s %9s %9s %7s %12s %10s %10s\n", "benchmark", "mode",
+              "T1(s)", "Tp(s)", "spd", "promotions", "promoMB", "conflicts");
+  print_rule(88);
+
+  struct Item {
+    const char* name;
+    KernelOut (*fn)(HierRuntime&, const Sizes&);
+  };
+  const Item items[] = {
+      {"usp", &bench_usp<HierRuntime>},
+      {"usp-tree", &bench_usp_tree<HierRuntime>},
+      {"multi-usp-tree", &bench_multi_usp_tree<HierRuntime>},
+      {"msort", &bench_msort<HierRuntime>},
+  };
+  struct Mode {
+    const char* name;
+    PromotionMode mode;
+  };
+  const Mode modes[] = {
+      {"coarse", PromotionMode::kCoarseLocking},
+      {"fine", PromotionMode::kFineGrained},
+  };
+
+  for (const Item& item : items) {
+    if (!opt.selected(item.name)) {
+      continue;
+    }
+    for (const Mode& mode : modes) {
+      Measurement m1;
+      Measurement mp;
+      {
+        HierRuntime::Options ro;
+        ro.workers = 1;
+        ro.promotion = mode.mode;
+        HierRuntime rt(ro);
+        m1 = measure(rt, opt.sizes, opt.runs,
+                     [&item](HierRuntime& r, const Sizes& z) {
+                       return item.fn(r, z);
+                     });
+      }
+      {
+        HierRuntime::Options ro;
+        ro.workers = procs;
+        ro.promotion = mode.mode;
+        HierRuntime rt(ro);
+        mp = measure(rt, opt.sizes, opt.runs,
+                     [&item](HierRuntime& r, const Sizes& z) {
+                       return item.fn(r, z);
+                     });
+      }
+      std::printf("%-15s %-7s %9.3f %9.3f %6.2fx %12llu %10.2f %10llu\n",
+                  item.name, mode.name, m1.seconds, mp.seconds,
+                  m1.seconds / mp.seconds,
+                  static_cast<unsigned long long>(mp.stats.promotions),
+                  static_cast<double>(mp.stats.promoted_bytes) /
+                      (1024.0 * 1024.0),
+                  static_cast<unsigned long long>(
+                      mp.stats.promo_claim_conflicts));
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nexpected shape: usp-tree under `coarse` serializes (speedup ~1 or "
+      "below); under `fine` concurrent promotions to the root heap overlap "
+      "and the speedup recovers; usp and msort perform no promotions and "
+      "are mode-insensitive; conflicts stay near zero because usp-tree's "
+      "promotions are disjoint (Section 5)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: sequential-threshold (GRAIN) sensitivity, the idiom the
+// paper's Section 2 motivates ("the overhead of parallelism is
+// amortized by switching to a fast sequential algorithm on small
+// inputs"). Sweeps the leaf threshold of msort and the tabulate grain.
+//
+// Also measures the paper's claim that imperative msort beats the
+// purely functional msort-pure ("msort can be up to twice as fast as a
+// purely functional alternative") at every grain.
+#include <cstdio>
+
+#include "bench_common/harness.hpp"
+#include "bench_common/workloads.hpp"
+#include "core/hier_runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parmem::bench;
+  Options opt = parse_options(argc, argv);
+  const unsigned procs = opt.procs;
+
+  std::printf("Ablation: GRAIN sensitivity on hierarchical heaps "
+              "(P=%u)\n\n",
+              procs);
+  std::printf("%-10s | %10s | %10s | %10s | %8s\n", "grain",
+              "msort(s)", "msort-pure", "tabulate", "imp/pure");
+  print_rule(62);
+
+  for (const std::int64_t grain :
+       {std::int64_t{512}, std::int64_t{2048}, std::int64_t{8192},
+        std::int64_t{32768}, std::int64_t{131072}}) {
+    Sizes z = opt.sizes;
+    z.sort_grain = grain;
+    z.seq_grain = grain;
+    // Equalize the two sort input sizes so the imperative/pure ratio is
+    // meaningful.
+    z.msort_pure_n = z.msort_n;
+
+    parmem::HierRuntime::Options ro;
+    ro.workers = procs;
+
+    double t_msort;
+    double t_pure;
+    double t_tab;
+    {
+      parmem::HierRuntime rt(ro);
+      t_msort = measure(rt, z, opt.runs,
+                        [](parmem::HierRuntime& r, const Sizes& s) {
+                          return bench_msort(r, s);
+                        })
+                    .seconds;
+    }
+    {
+      parmem::HierRuntime rt(ro);
+      t_pure = measure(rt, z, opt.runs,
+                       [](parmem::HierRuntime& r, const Sizes& s) {
+                         return bench_msort_pure(r, s);
+                       })
+                   .seconds;
+    }
+    {
+      parmem::HierRuntime rt(ro);
+      t_tab = measure(rt, z, opt.runs,
+                      [](parmem::HierRuntime& r, const Sizes& s) {
+                        return bench_tabulate(r, s);
+                      })
+                  .seconds;
+    }
+    std::printf("%-10lld | %10.3f | %10.3f | %10.3f | %7.2fx\n",
+                static_cast<long long>(grain), t_msort, t_pure, t_tab,
+                t_pure / t_msort);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nexpected shape: a sweet spot at mid grains (too small => "
+      "fork overhead; too large => no parallelism), and imperative "
+      "msort consistently faster than msort-pure (up to ~2x, Section "
+      "2)\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Figure 10: execution times, overheads, speedups, and GC percentages
+// of the purely functional benchmarks across the four systems:
+//   mlton            -> parmem::SeqRuntime      (sequential baseline)
+//   mlton-spoonhower -> parmem::StwRuntime      (parallel, STW GC)
+//   manticore        -> parmem::LhRuntime       (local heaps + promotion)
+//   mlton-parmem     -> parmem::HierRuntime     (hierarchical heaps)
+//
+// Run with --procs=P --runs=R --scale=F --bench=a,b --quick.
+#include <cstdio>
+#include <string>
+
+#include "bench_common/harness.hpp"
+#include "bench_common/workloads.hpp"
+#include "core/hier_runtime.hpp"
+#include "runtimes/localheap_runtime.hpp"
+#include "runtimes/seq_runtime.hpp"
+#include "runtimes/stw_runtime.hpp"
+
+namespace parmem::bench {
+namespace {
+
+struct PureRow {
+  const char* name;
+  KernelOut (*seq)(SeqRuntime&, const Sizes&);
+  KernelOut (*stw)(StwRuntime&, const Sizes&);
+  KernelOut (*lh)(LhRuntime&, const Sizes&);
+  KernelOut (*hier)(HierRuntime&, const Sizes&);
+  bool lh_supported;  // msort-pure: "--" in the paper (compiler bug)
+};
+
+#define PURE_ROW(nm, fn, lh_ok)                                       \
+  PureRow {                                                           \
+    nm, &fn<SeqRuntime>, &fn<StwRuntime>, &fn<LhRuntime>,             \
+        &fn<HierRuntime>, lh_ok                                       \
+  }
+
+const PureRow kRows[] = {
+    PURE_ROW("fib", bench_fib, true),
+    PURE_ROW("tabulate", bench_tabulate, true),
+    PURE_ROW("map", bench_map, true),
+    PURE_ROW("reduce", bench_reduce, true),
+    PURE_ROW("filter", bench_filter, true),
+    PURE_ROW("msort-pure", bench_msort_pure, false),
+    PURE_ROW("dmm", bench_dmm, true),
+    PURE_ROW("smvm", bench_smvm, true),
+    PURE_ROW("strassen", bench_strassen, true),
+    PURE_ROW("raytracer", bench_raytracer, true),
+};
+
+template <class RT, class Fn>
+Measurement run_system(const Options& opt, unsigned procs, Fn kernel) {
+  typename RT::Options ro;
+  ro.workers = procs;
+  RT rt(ro);
+  return measure(rt, opt.sizes, opt.runs,
+                 [kernel](RT& r, const Sizes& z) { return kernel(r, z); });
+}
+
+void print_header(unsigned procs) {
+  std::printf(
+      "Figure 10: purely functional benchmarks "
+      "(P=%u; medians of --runs runs; times in seconds)\n\n",
+      procs);
+  std::printf("%-11s | %7s %5s | %7s %5s %7s %5s %5s | %7s %5s %7s %5s | "
+              "%7s %5s %7s %5s %5s\n",
+              "", "mlton", "", "spoonh", "", "", "", "", "mantic", "", "",
+              "", "parmem", "", "", "", "");
+  std::printf("%-11s | %7s %5s | %7s %5s %7s %5s %5s | %7s %5s %7s %5s | "
+              "%7s %5s %7s %5s %5s\n",
+              "benchmark", "Ts", "GCs", "T1", "ovh", "Tp", "spd", "GCp",
+              "T1", "ovh", "Tp", "spd", "T1", "ovh", "Tp", "spd", "GCp");
+  print_rule(132);
+}
+
+}  // namespace
+}  // namespace parmem::bench
+
+int main(int argc, char** argv) {
+  using namespace parmem::bench;
+  Options opt = parse_options(argc, argv);
+  const unsigned procs = opt.procs;
+  print_header(procs);
+
+  for (const PureRow& row : kRows) {
+    if (!opt.selected(row.name)) {
+      continue;
+    }
+    const Measurement seq =
+        run_system<parmem::SeqRuntime>(opt, 1, row.seq);
+    const double ts = seq.seconds;
+
+    const Measurement stw1 =
+        run_system<parmem::StwRuntime>(opt, 1, row.stw);
+    const Measurement stwp =
+        run_system<parmem::StwRuntime>(opt, procs, row.stw);
+
+    Measurement lh1;
+    Measurement lhp;
+    if (row.lh_supported) {
+      lh1 = run_system<parmem::LhRuntime>(opt, 1, row.lh);
+      lhp = run_system<parmem::LhRuntime>(opt, procs, row.lh);
+    }
+
+    const Measurement hier1 =
+        run_system<parmem::HierRuntime>(opt, 1, row.hier);
+    const Measurement hierp =
+        run_system<parmem::HierRuntime>(opt, procs, row.hier);
+
+    // Cross-runtime verification: checksums must agree.
+    auto check = [&](const Measurement& m, const char* sys) {
+      if (m.checksum != seq.checksum) {
+        std::printf("!! checksum mismatch on %s/%s: %lld vs %lld\n",
+                    row.name, sys,
+                    static_cast<long long>(m.checksum),
+                    static_cast<long long>(seq.checksum));
+      }
+    };
+    check(stw1, "stw");
+    check(stwp, "stw-p");
+    if (row.lh_supported) {
+      check(lh1, "localheap");
+      check(lhp, "localheap-p");
+    }
+    check(hier1, "hier");
+    check(hierp, "hier-p");
+
+    std::printf("%-11s | %7.3f %5.1f | %7.3f %5.2f %7.3f %5.2f %5.1f | ",
+                row.name, ts, 100.0 * seq.gc_fraction(), stw1.seconds,
+                stw1.seconds / ts, stwp.seconds, ts / stwp.seconds,
+                100.0 * stwp.gc_fraction());
+    if (row.lh_supported) {
+      std::printf("%7.3f %5.2f %7.3f %5.2f | ", lh1.seconds,
+                  lh1.seconds / ts, lhp.seconds, ts / lhp.seconds);
+    } else {
+      std::printf("%7s %5s %7s %5s | ", "--", "--", "--", "--");
+    }
+    std::printf("%7.3f %5.2f %7.3f %5.2f %5.1f\n", hier1.seconds,
+                hier1.seconds / ts, hierp.seconds, ts / hierp.seconds,
+                100.0 * hierp.gc_fraction());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\ncolumns: Ts sequential time; GCs %% time in GC (sequential); "
+      "T1/Tp times on 1/P procs; ovh = T1/Ts; spd = Ts/Tp; GCp %% "
+      "processor time in GC at P procs (STW pauses count all stopped "
+      "workers)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 12: speedup of mlton-parmem (the hierarchical runtime) as the
+// processor count grows, for all benchmarks. The paper plots P=1..72;
+// here the sweep runs P=1..procs. The expected shape: speedups increase
+// monotonically with P ("there are no inversions"), except for the
+// promotion-serialized usp-tree.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common/harness.hpp"
+#include "bench_common/workloads.hpp"
+#include "core/hier_runtime.hpp"
+#include "runtimes/seq_runtime.hpp"
+
+namespace parmem::bench {
+namespace {
+
+struct Row {
+  const char* name;
+  KernelOut (*seq)(SeqRuntime&, const Sizes&);
+  KernelOut (*hier)(HierRuntime&, const Sizes&);
+};
+
+#define ROW(nm, fn) \
+  Row { nm, &fn<SeqRuntime>, &fn<HierRuntime> }
+
+const Row kRows[] = {
+    ROW("fib", bench_fib),
+    ROW("tabulate", bench_tabulate),
+    ROW("map", bench_map),
+    ROW("reduce", bench_reduce),
+    ROW("filter", bench_filter),
+    ROW("msort-pure", bench_msort_pure),
+    ROW("dmm", bench_dmm),
+    ROW("smvm", bench_smvm),
+    ROW("strassen", bench_strassen),
+    ROW("raytracer", bench_raytracer),
+    ROW("msort", bench_msort),
+    ROW("dedup", bench_dedup),
+    ROW("tourney", bench_tourney),
+    ROW("reachability", bench_reachability),
+    ROW("usp", bench_usp),
+    ROW("usp-tree", bench_usp_tree),
+    ROW("multi-usp-tree", bench_multi_usp_tree),
+};
+
+}  // namespace
+}  // namespace parmem::bench
+
+int main(int argc, char** argv) {
+  using namespace parmem::bench;
+  Options opt = parse_options(argc, argv);
+
+  std::vector<unsigned> procs;
+  for (unsigned p = 1; p <= opt.procs; ++p) {
+    procs.push_back(p);
+  }
+
+  std::printf(
+      "Figure 12: speedups (Ts / T_P) of mlton-parmem as P grows\n\n");
+  std::printf("%-15s %8s ", "benchmark", "Ts");
+  for (const unsigned p : procs) {
+    std::printf("  P=%-5u", p);
+  }
+  std::printf("\n");
+  print_rule(26 + 8 * static_cast<int>(procs.size()));
+
+  for (const Row& row : kRows) {
+    if (!opt.selected(row.name)) {
+      continue;
+    }
+    parmem::SeqRuntime seq_rt;
+    const Measurement seq =
+        measure(seq_rt, opt.sizes, opt.runs,
+                [&row](parmem::SeqRuntime& r, const Sizes& z) {
+                  return row.seq(r, z);
+                });
+    std::printf("%-15s %8.3f ", row.name, seq.seconds);
+    for (const unsigned p : procs) {
+      parmem::HierRuntime::Options ro;
+      ro.workers = p;
+      parmem::HierRuntime rt(ro);
+      const Measurement m =
+          measure(rt, opt.sizes, opt.runs,
+                  [&row](parmem::HierRuntime& r, const Sizes& z) {
+                    return row.hier(r, z);
+                  });
+      if (m.checksum != seq.checksum) {
+        std::printf("  !MISM ");
+      } else {
+        std::printf("  %5.2fx", seq.seconds / m.seconds);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: monotone increase with P for all rows "
+              "except usp-tree (promotion path-locking serializes it; "
+              "multi-usp-tree recovers parallelism)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 13: memory consumption (max heap occupancy including
+// fragmentation) and inflation factors. Ms is the sequential baseline's
+// peak; I1 and I_P are the parallel runtimes' peaks relative to Ms, on
+// 1 and P processors. The paper's expectations: inflation grows with P;
+// hierarchical heaps inflate somewhat more than the flat-heap baseline
+// (dedicated forwarding-pointer word + per-heap chunk fragmentation).
+#include <cstdio>
+
+#include "bench_common/harness.hpp"
+#include "bench_common/workloads.hpp"
+#include "core/hier_runtime.hpp"
+#include "runtimes/seq_runtime.hpp"
+#include "runtimes/stw_runtime.hpp"
+
+namespace parmem::bench {
+namespace {
+
+struct Row {
+  const char* name;
+  KernelOut (*seq)(SeqRuntime&, const Sizes&);
+  KernelOut (*stw)(StwRuntime&, const Sizes&);
+  KernelOut (*hier)(HierRuntime&, const Sizes&);
+};
+
+#define ROW(nm, fn) \
+  Row { nm, &fn<SeqRuntime>, &fn<StwRuntime>, &fn<HierRuntime> }
+
+const Row kRows[] = {
+    ROW("fib", bench_fib),
+    ROW("tabulate", bench_tabulate),
+    ROW("map", bench_map),
+    ROW("reduce", bench_reduce),
+    ROW("filter", bench_filter),
+    ROW("msort-pure", bench_msort_pure),
+    ROW("dmm", bench_dmm),
+    ROW("smvm", bench_smvm),
+    ROW("strassen", bench_strassen),
+    ROW("raytracer", bench_raytracer),
+    ROW("msort", bench_msort),
+    ROW("dedup", bench_dedup),
+    ROW("tourney", bench_tourney),
+    ROW("reachability", bench_reachability),
+    ROW("usp", bench_usp),
+    ROW("usp-tree", bench_usp_tree),
+    ROW("multi-usp-tree", bench_multi_usp_tree),
+};
+
+template <class RT, class Fn>
+Measurement run_system(const Options& opt, unsigned procs, Fn kernel) {
+  typename RT::Options ro;
+  ro.workers = procs;
+  RT rt(ro);
+  return measure(rt, opt.sizes, opt.runs,
+                 [kernel](RT& r, const Sizes& z) { return kernel(r, z); });
+}
+
+}  // namespace
+}  // namespace parmem::bench
+
+int main(int argc, char** argv) {
+  using namespace parmem::bench;
+  Options opt = parse_options(argc, argv);
+  const unsigned procs = opt.procs;
+
+  std::printf(
+      "Figure 13: memory consumption (MB) and inflation (P=%u)\n\n",
+      procs);
+  std::printf("%-15s | %9s | %7s %7s | %7s %7s\n", "", "mlton",
+              "spoonh", "", "parmem", "");
+  std::printf("%-15s | %9s | %7s %7s | %7s %7s\n", "benchmark", "Ms(MB)",
+              "I1", "Ip", "I1", "Ip");
+  print_rule(66);
+
+  for (const Row& row : kRows) {
+    if (!opt.selected(row.name)) {
+      continue;
+    }
+    const Measurement seq = run_system<parmem::SeqRuntime>(opt, 1, row.seq);
+    const auto ms = static_cast<double>(seq.peak_bytes);
+    const Measurement stw1 = run_system<parmem::StwRuntime>(opt, 1, row.stw);
+    const Measurement stwp =
+        run_system<parmem::StwRuntime>(opt, procs, row.stw);
+    const Measurement hier1 =
+        run_system<parmem::HierRuntime>(opt, 1, row.hier);
+    const Measurement hierp =
+        run_system<parmem::HierRuntime>(opt, procs, row.hier);
+
+    std::printf("%-15s | %9.1f | %7.2f %7.2f | %7.2f %7.2f\n", row.name,
+                ms / (1024.0 * 1024.0),
+                static_cast<double>(stw1.peak_bytes) / ms,
+                static_cast<double>(stwp.peak_bytes) / ms,
+                static_cast<double>(hier1.peak_bytes) / ms,
+                static_cast<double>(hierp.peak_bytes) / ms);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nMs: sequential max heap occupancy; I1/Ip: parallel peak / Ms "
+      "on 1 and P processors (chunk-pool watermark, includes "
+      "fragmentation from parallel allocation)\n");
+  return 0;
+}
