@@ -1,0 +1,184 @@
+// Shared measurement scaffolding for the figure/ablation drivers:
+// wall-clock timing, CLI options, median-of-runs measurement with
+// runtime counter deltas, and small table-printing helpers.
+//
+// Workload kernels (bench_common/workloads.hpp) arrive in a later PR;
+// everything here is kernel-agnostic.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace parmem::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Problem sizes, uniformly shrunk by --scale / --quick.
+struct Sizes {
+  double scale = 1.0;
+  std::int64_t seq_n = std::int64_t{1} << 24;  // element count for seq kernels
+  std::uint64_t seed = 42;
+
+  std::int64_t scaled(std::int64_t base) const {
+    auto v = static_cast<std::int64_t>(static_cast<double>(base) * scale);
+    return v > 1 ? v : 1;
+  }
+};
+
+struct Options {
+  unsigned procs = 0;  // 0 resolved to hardware threads in parse_options
+  int runs = 3;
+  bool quick = false;
+  Sizes sizes;
+  std::string bench_filter;  // comma-separated names; empty = all
+
+  bool selected(const char* name) const {
+    if (bench_filter.empty()) {
+      return true;
+    }
+    std::string needle(name);
+    std::size_t pos = 0;
+    while (pos <= bench_filter.size()) {
+      std::size_t comma = bench_filter.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = bench_filter.size();
+      }
+      if (bench_filter.compare(pos, comma - pos, needle) == 0) {
+        return true;
+      }
+      pos = comma + 1;
+    }
+    return false;
+  }
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      std::size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (const char* v = value("--procs=")) {
+      opt.procs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--runs=")) {
+      opt.runs = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--scale=")) {
+      opt.sizes.scale = std::strtod(v, nullptr);
+    } else if (const char* v = value("--seed=")) {
+      opt.sizes.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--bench=")) {
+      opt.bench_filter = v;
+    } else if (std::strcmp(a, "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf(
+          "options: --procs=P --runs=R --scale=F --seed=S --bench=a,b "
+          "--quick\n");
+      std::exit(0);
+    }
+  }
+  if (opt.procs == 0) {
+    opt.procs = std::thread::hardware_concurrency();
+    if (opt.procs == 0) {
+      opt.procs = 1;
+    }
+  }
+  if (opt.quick) {
+    opt.sizes.scale *= 0.05;
+    opt.runs = 1;
+  }
+  opt.sizes.seq_n = opt.sizes.scaled(std::int64_t{1} << 24);
+  if (opt.runs < 1) {
+    opt.runs = 1;
+  }
+  return opt;
+}
+
+// One measured configuration: the median-time run's wall time, counter
+// deltas and checksum; peak_bytes is the runtime's lifetime high-water
+// mark (chunk pools never forget earlier runs).
+struct Measurement {
+  double seconds = 0.0;
+  std::int64_t checksum = 0;
+  Stats stats;
+  std::size_t peak_bytes = 0;
+
+  double gc_fraction() const {
+    return seconds > 0.0 ? (static_cast<double>(stats.gc_ns) * 1e-9) / seconds
+                         : 0.0;
+  }
+};
+
+// Runs `fn(rt, sizes)` `runs` times; reports the median time. `fn`
+// must return a value exposing `.checksum` (cross-runtime agreement is
+// checked by the figure drivers).
+template <class RT, class Fn>
+Measurement measure(RT& rt, const Sizes& sizes, int runs, Fn&& fn) {
+  struct Run {
+    double seconds;
+    std::int64_t checksum;
+    Stats stats;
+  };
+  std::vector<Run> rs;
+  rs.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    Stats before = rt.stats();
+    Timer t;
+    auto out = fn(rt, sizes);
+    rs.push_back(Run{t.seconds(), out.checksum, rt.stats() - before});
+  }
+  std::sort(rs.begin(), rs.end(),
+            [](const Run& a, const Run& b) { return a.seconds < b.seconds; });
+  const Run& median = rs[rs.size() / 2];
+  Measurement m;
+  m.seconds = median.seconds;
+  m.checksum = median.checksum;
+  m.stats = median.stats;
+  m.peak_bytes = rt.peak_bytes();
+  return m;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline std::string fmt_mb(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return std::string(buf);
+}
+
+inline std::string fmt_pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * fraction);
+  return std::string(buf);
+}
+
+}  // namespace parmem::bench

@@ -1,0 +1,96 @@
+// Leaf-heap collection: a Cheney-style copying collector for the one
+// heap only its owning task can allocate into. Roots are the task's
+// RootFrame slots; tracing stops at any object owned by an ancestor
+// heap (the hierarchy invariant guarantees ancestors never point down
+// into a leaf, so the leaf can be collected without looking at anyone
+// else and without stopping any other task).
+//
+// The object forwarding word is reused for GC forwarding; stale
+// promotion copies sitting in the leaf simply chase to their master
+// and die with the from-space chunks.
+#pragma once
+
+#include <chrono>
+#include <cstring>
+
+#include "core/heap.hpp"
+#include "core/object.hpp"
+#include "core/stats.hpp"
+
+namespace parmem {
+
+// `root_iter(fn)` must invoke fn(Object** slot) for every live root
+// slot of the owning task. Returns live bytes evacuated.
+template <class RootIter>
+std::size_t leaf_gc_collect(Heap* heap, StatsCell* stats,
+                            RootIter&& root_iter) {
+  auto t0 = std::chrono::steady_clock::now();
+
+  Chunk* from = heap->detach_chunks();
+  for (Chunk* c = from; c != nullptr; c = c->next) {
+    c->from_space = true;
+  }
+
+  std::size_t copied = 0;
+  auto forward = [&](Object* p) -> Object* {
+    if (p == nullptr) {
+      return nullptr;
+    }
+    p = Object::chase(p);  // promoted -> master; already-copied -> to-space
+    Chunk* c = chunk_of(p);
+    if (!c->from_space || c->heap.load(std::memory_order_relaxed) != heap) {
+      return p;  // ancestor-owned (or already evacuated): not ours to move
+    }
+    Object* n = heap->bump_alloc(p->nptr(), p->nscalar());
+    std::size_t payload = 8u * (std::size_t{p->nptr()} + p->nscalar());
+    std::memcpy(n->scalars(), p->scalars(), payload);
+    p->set_fwd(n, std::memory_order_relaxed);  // single-task heap: no release
+    copied += n->size();
+    return n;
+  };
+
+  root_iter([&](Object** slot) { *slot = forward(*slot); });
+
+  // Cheney scan: walk to-space objects in allocation order; the list
+  // grows at the tail while we scan.
+  Chunk* c = heap->chunks();
+  char* p = (c != nullptr) ? c->data() : nullptr;
+  while (c != nullptr) {
+    for (;;) {
+      char* limit = (c == heap->tail()) ? heap->top() : c->obj_end;
+      if (p >= limit) {
+        break;
+      }
+      Object* o = reinterpret_cast<Object*>(p);
+      std::uint32_t np = o->nptr();
+      for (std::uint32_t j = 0; j < np; ++j) {
+        o->ptrs()[j] = forward(o->ptrs()[j]);
+      }
+      p += o->size();
+    }
+    if (c->next == nullptr &&
+        (c == heap->tail() ? p >= heap->top() : p >= c->obj_end)) {
+      break;
+    }
+    if (c->next != nullptr) {
+      c = c->next;
+      p = c->data();
+    }
+  }
+
+  while (from != nullptr) {
+    Chunk* n = from->next;
+    heap->pool()->release(from);
+    from = n;
+  }
+
+  auto t1 = std::chrono::steady_clock::now();
+  stats->gc_count.fetch_add(1, std::memory_order_relaxed);
+  stats->gc_bytes_copied.fetch_add(copied, std::memory_order_relaxed);
+  stats->gc_ns.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count(),
+      std::memory_order_relaxed);
+  return copied;
+}
+
+}  // namespace parmem

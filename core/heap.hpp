@@ -1,0 +1,324 @@
+// Chunked heaps arranged in a tree that mirrors the fork-join task
+// tree. A heap is a singly linked list of 256 KiB chunks, each aligned
+// to its own size so `object -> owning heap` is one mask plus one load
+// (no per-object heap word, which keeps allocation at a pointer bump).
+//
+// Chunks are recycled through a per-runtime ChunkPool so steady-state
+// allocation and leaf GC never touch the OS allocator. Oversized
+// objects get a dedicated multiple-of-256KiB chunk; their start address
+// still lies inside the first aligned block, so the mask trick holds.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+#include "core/object.hpp"
+
+namespace parmem {
+
+class Heap;
+
+inline constexpr std::size_t kChunkBytesLog2 = 18;
+inline constexpr std::size_t kChunkBytes = std::size_t{1} << kChunkBytesLog2;
+inline constexpr std::size_t kChunkHeaderBytes = 64;
+inline constexpr std::size_t kChunkPayload = kChunkBytes - kChunkHeaderBytes;
+
+struct alignas(kChunkHeaderBytes) Chunk {
+  std::atomic<Heap*> heap{nullptr};  // owning heap; retargeted at join-merge
+  Chunk* next = nullptr;
+  char* obj_end = nullptr;  // end of allocated objects; valid when retired
+  std::size_t bytes = 0;    // total footprint including header
+  bool oversized = false;
+  bool from_space = false;  // transient mark used by the leaf collector
+
+  char* data() { return reinterpret_cast<char*>(this) + kChunkHeaderBytes; }
+  char* data_limit() { return reinterpret_cast<char*>(this) + bytes; }
+};
+
+static_assert(sizeof(Chunk) <= kChunkHeaderBytes,
+              "chunk header must fit its reserved prefix");
+
+inline Chunk* chunk_of(const Object* o) {
+  return reinterpret_cast<Chunk*>(reinterpret_cast<std::uintptr_t>(o) &
+                                  ~(kChunkBytes - 1));
+}
+
+inline Heap* heap_of(const Object* o) {
+  return chunk_of(o)->heap.load(std::memory_order_relaxed);
+}
+
+// Per-runtime chunk recycler. Only slow paths (chunk overflow, GC,
+// heap teardown) ever take its mutex.
+class ChunkPool {
+ public:
+  ChunkPool() = default;
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  ~ChunkPool() {
+    std::lock_guard<std::mutex> g(mu_);
+    while (free_ != nullptr) {
+      Chunk* c = free_;
+      free_ = c->next;
+      std::free(c);
+    }
+  }
+
+  // payload_bytes: object bytes the caller needs to fit in one chunk.
+  Chunk* acquire(std::size_t payload_bytes) {
+    if (payload_bytes <= kChunkPayload) {
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        if (free_ != nullptr) {
+          Chunk* c = free_;
+          free_ = c->next;
+          account_live(c->bytes);
+          reset(c);
+          return c;
+        }
+      }
+      return fresh(kChunkBytes, false);
+    }
+    std::size_t total = kChunkHeaderBytes + payload_bytes;
+    total = (total + kChunkBytes - 1) & ~(kChunkBytes - 1);
+    return fresh(total, true);
+  }
+
+  void release(Chunk* c) {
+    std::size_t bytes = c->bytes;
+    if (c->oversized) {
+      std::free(c);
+    } else {
+      std::lock_guard<std::mutex> g(mu_);
+      c->next = free_;
+      free_ = c;
+    }
+    live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  // Bytes currently handed out to heaps (excludes pooled free chunks).
+  std::size_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static void reset(Chunk* c) {
+    c->heap.store(nullptr, std::memory_order_relaxed);
+    c->next = nullptr;
+    c->obj_end = nullptr;
+    c->from_space = false;
+  }
+
+  Chunk* fresh(std::size_t total, bool oversized) {
+    void* mem = std::aligned_alloc(kChunkBytes, total);
+    if (mem == nullptr) {
+      throw std::bad_alloc();
+    }
+    Chunk* c = new (mem) Chunk();
+    c->bytes = total;
+    c->oversized = oversized;
+    account_live(total);
+    return c;
+  }
+
+  void account_live(std::size_t bytes) {
+    std::size_t now =
+        live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::mutex mu_;
+  Chunk* free_ = nullptr;
+  std::atomic<std::size_t> live_bytes_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+};
+
+// Tiny spinlock guarding fine-grained remote bumps into an internal
+// heap; promotion critical sections are a handful of instructions.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+// One node of the heap tree. Leaf heaps are bumped lock-free by their
+// owning task; internal heaps only grow via promotion, which
+// synchronises with either the heap mutex (coarse path locking) or the
+// remote spinlock (fine-grained mode).
+class Heap {
+ public:
+  Heap(Heap* parent, std::uint32_t depth, ChunkPool* pool)
+      : parent_(parent), depth_(depth), pool_(pool) {}
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  ~Heap() { release_all_chunks(); }
+
+  Heap* parent() const { return parent_; }
+  std::uint32_t depth() const { return depth_; }
+  std::mutex& path_lock() { return lock_; }
+  SpinLock& remote_lock() { return remote_lock_; }
+  ChunkPool* pool() const { return pool_; }
+
+  char* top() const { return top_; }
+  Chunk* chunks() const { return head_; }
+  Chunk* tail() const { return tail_; }
+  std::size_t chunk_bytes() const { return bytes_; }
+  std::size_t allocated_bytes() const {
+    return allocated_full_ +
+           (top_ != nullptr ? static_cast<std::size_t>(top_ - tail_->data())
+                            : 0);
+  }
+
+  // Inline fast path: bump or bail. Returns null on overflow so the
+  // caller can run its GC policy before acquiring a chunk. The caller
+  // initialises the header.
+  char* try_bump(std::size_t size) {
+    char* p = top_;
+    if (__builtin_expect(static_cast<std::size_t>(end_ - p) < size, 0)) {
+      return nullptr;
+    }
+    top_ = p + size;
+    return p;
+  }
+
+  // Raw bump allocation. The caller provides mutual exclusion: the
+  // owning task for its leaf, or the promotion lock for an internal
+  // heap. Header is initialised; fields are NOT zeroed here.
+  Object* bump_alloc(std::uint32_t nptr, std::uint32_t nscalar) {
+    std::size_t size = Object::size_bytes(nptr, nscalar);
+    char* p = top_;
+    char* nt = p + size;
+    if (__builtin_expect(nt > end_, 0)) {
+      return overflow_alloc(nptr, nscalar, size);
+    }
+    top_ = nt;
+    Object* o = reinterpret_cast<Object*>(p);
+    o->init_header(nptr, nscalar);
+    return o;
+  }
+
+  // Snapshot the bump pointer into the tail chunk so object walkers
+  // can iterate it without consulting `top_`.
+  void retire_tail() {
+    if (top_ != nullptr) {
+      tail_->obj_end = top_;
+    }
+  }
+
+  // Detach the whole chunk list (leaf GC flips it to from-space).
+  Chunk* detach_chunks() {
+    retire_tail();
+    Chunk* h = head_;
+    head_ = tail_ = nullptr;
+    top_ = end_ = nullptr;
+    bytes_ = 0;
+    allocated_full_ = 0;
+    return h;
+  }
+
+  // Fold `child` into this heap at join: every surviving child object
+  // keeps its address; only the chunk->heap back-pointers change.
+  void merge_from(Heap& child) {
+    child.retire_tail();
+    Chunk* h = child.head_;
+    if (h == nullptr) {
+      return;
+    }
+    Chunk* last = h;
+    for (Chunk* c = h;; c = c->next) {
+      c->heap.store(this, std::memory_order_relaxed);
+      c->from_space = false;
+      last = c;
+      if (c->next == nullptr) {
+        break;
+      }
+    }
+    // Splice at the head so this heap's tail stays the active bump
+    // chunk; merged chunks are all retired (obj_end valid).
+    last->next = head_;
+    head_ = h;
+    if (tail_ == nullptr) {
+      tail_ = last;
+    }
+    bytes_ += child.bytes_;
+    allocated_full_ += child.allocated_bytes();
+    child.head_ = child.tail_ = nullptr;
+    child.top_ = child.end_ = nullptr;
+    child.bytes_ = 0;
+    child.allocated_full_ = 0;
+  }
+
+  void release_all_chunks() {
+    Chunk* c = detach_chunks();
+    while (c != nullptr) {
+      Chunk* n = c->next;
+      pool_->release(c);
+      c = n;
+    }
+  }
+
+ private:
+  Object* overflow_alloc(std::uint32_t nptr, std::uint32_t nscalar,
+                         std::size_t size) {
+    retire_tail();
+    if (top_ != nullptr) {
+      allocated_full_ += static_cast<std::size_t>(top_ - tail_->data());
+    }
+    Chunk* c = pool_->acquire(size);
+    c->heap.store(this, std::memory_order_relaxed);
+    c->next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next = c;
+    } else {
+      head_ = c;
+    }
+    tail_ = c;
+    bytes_ += c->bytes;
+    top_ = c->data();
+    end_ = c->data_limit();
+    Object* o = reinterpret_cast<Object*>(top_);
+    top_ += size;
+    if (c->oversized) {
+      // Close the chunk: objects after the big one would sit past the
+      // first kChunkBytes-aligned block, where chunk_of()'s address
+      // mask no longer finds this header.
+      end_ = top_;
+    }
+    o->init_header(nptr, nscalar);
+    return o;
+  }
+
+  Heap* parent_;
+  std::uint32_t depth_;
+  ChunkPool* pool_;
+  char* top_ = nullptr;
+  char* end_ = nullptr;
+  Chunk* head_ = nullptr;
+  Chunk* tail_ = nullptr;
+  std::size_t bytes_ = 0;           // chunk footprint owned by this heap
+  std::size_t allocated_full_ = 0;  // object bytes in retired chunks
+  std::mutex lock_;
+  SpinLock remote_lock_;
+};
+
+}  // namespace parmem

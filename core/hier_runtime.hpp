@@ -1,0 +1,315 @@
+// Hierarchical-heap runtime (Guatto et al., PPoPP 2018): a tree of
+// task-local heaps mirroring the fork-join tree, with object promotion
+// on entangling pointer writes. The fast paths are engineered to stay
+// at a handful of instructions:
+//
+//   ctx.alloc(np, ns)      pointer bump + overflow check, no locks
+//   Ctx::read_i64_imm      one load (scalars sit at a fixed offset)
+//   Ctx::read_i64_mut      one forwarding-word check, then the load
+//   Ctx::write_i64         one forwarding-word check, then the store
+//   ctx.write_ptr          two heap lookups (mask+load) on the
+//                          leaf-local path; locking/promotion only on
+//                          entangling stores into ancestor heaps
+//
+// fork2 splits the current leaf into two child leaves on a
+// work-stealing pool and merges them back at the join -- child objects
+// keep their addresses, so results flow to the parent without copying
+// and balanced programs promote nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "core/gc_leaf.hpp"
+#include "core/heap.hpp"
+#include "core/object.hpp"
+#include "core/promote.hpp"
+#include "core/roots.hpp"
+#include "core/sched.hpp"
+#include "core/stats.hpp"
+
+namespace parmem {
+
+class HierRuntime {
+ public:
+  struct Options {
+    unsigned workers = 0;  // 0 = one per hardware thread
+    PromotionMode promotion = PromotionMode::kCoarseLocking;
+    std::size_t gc_min_budget = std::size_t{4} << 20;  // leaf bytes before GC
+    std::size_t gc_join_threshold = 0;  // 0 = no collection at joins
+    double gc_growth_factor = 8.0;      // budget = max(min, factor * live)
+  };
+
+  class Ctx {
+   public:
+    Ctx(const Ctx&) = delete;
+    Ctx& operator=(const Ctx&) = delete;
+
+    // Allocate an object with `nptr` pointer fields and `nscalar` i64
+    // fields, all zeroed. 16-byte aligned. May run a leaf collection
+    // on chunk overflow, so unrooted raw Object* must not be held
+    // across calls.
+    Object* alloc(std::uint32_t nptr, std::uint32_t nscalar) {
+      std::size_t size = Object::size_bytes(nptr, nscalar);
+      char* p = heap_->try_bump(size);
+      if (__builtin_expect(p == nullptr, 0)) {
+        return alloc_slow(nptr, nscalar);
+      }
+      Object* o = reinterpret_cast<Object*>(p);
+      o->init_header(nptr, nscalar);
+      o->zero_fields();
+      return o;
+    }
+
+    // Initialising store: the object is fresh and unpublished.
+    static void init_i64(Object* o, std::uint32_t i, std::int64_t v) {
+      o->set_scalar(i, v);
+    }
+    static void init_ptr(Object* o, std::uint32_t i, Object* v) {
+      o->set_ptr_relaxed(i, v);
+    }
+
+    // Immutable read: a single load. Correct even through a stale
+    // promoted copy, because promotion copies field-for-field and
+    // immutable data never changes afterwards.
+    static std::int64_t read_i64_imm(const Object* o, std::uint32_t i) {
+      return o->scalar(i);
+    }
+
+    // Mutable accessors: one forwarding-word check finds the master
+    // copy (a promoted object's writes all land there).
+    static std::int64_t read_i64_mut(Object* o, std::uint32_t i) {
+      return Object::chase(o)->scalar(i);
+    }
+    static void write_i64(Object* o, std::uint32_t i, std::int64_t v) {
+      Object::chase(o)->set_scalar(i, v);
+    }
+    static Object* read_ptr(Object* o, std::uint32_t i) {
+      return Object::chase(o)->ptr(i);
+    }
+
+    // Pointer write barrier. Leaf-local targets store directly; stores
+    // into an ancestor heap take that heap's lock (coarse mode); and a
+    // store that would point DOWN the tree promotes the value's
+    // closure into the target heap first.
+    void write_ptr(Object* o, std::uint32_t idx, Object* v) {
+      o = Object::chase(o);
+      if (v != nullptr) {
+        v = Object::chase(v);
+      }
+      if (__builtin_expect(heap_of(o) == heap_, 1)) {
+        o->set_ptr_relaxed(idx, v);
+        return;
+      }
+      distant_write_ptr(o, idx, v);
+    }
+
+    // Force a leaf collection now (also used at joins when
+    // gc_join_threshold is set).
+    void collect_now() {
+      std::size_t live = leaf_gc_collect(heap_, &rt_->stats_,
+                                         [this](auto&& fn) {
+                                           for (RootFrame* f = frames_;
+                                                f != nullptr; f = f->prev()) {
+                                             f->for_each_slot(fn);
+                                           }
+                                         });
+      auto scaled = static_cast<std::size_t>(
+          static_cast<double>(live) * rt_->opts_.gc_growth_factor);
+      gc_budget_ = scaled > rt_->opts_.gc_min_budget
+                       ? scaled
+                       : rt_->opts_.gc_min_budget;
+    }
+
+    HierRuntime& runtime() { return *rt_; }
+    Heap* leaf_heap() { return heap_; }
+    RootFrame** root_head_ref() { return &frames_; }
+
+   private:
+    friend class HierRuntime;
+
+    Ctx(HierRuntime* rt, Heap* heap)
+        : rt_(rt),
+          heap_(heap),
+          mode_(rt->opts_.promotion),
+          gc_budget_(rt->opts_.gc_min_budget) {}
+
+    Object* alloc_slow(std::uint32_t nptr, std::uint32_t nscalar) {
+      if (heap_->chunk_bytes() >= gc_budget_) {
+        collect_now();
+      }
+      Object* o = heap_->bump_alloc(nptr, nscalar);
+      o->zero_fields();
+      return o;
+    }
+
+    void distant_write_ptr(Object* o, std::uint32_t idx, Object* v) {
+      for (;;) {
+        Object* d = Object::chase(o);
+        Heap* hd = heap_of(d);
+        if (v != nullptr && heap_of(v)->depth() > hd->depth()) {
+          promote_and_store(d, idx, v, heap_, mode_, &rt_->stats_);
+          return;
+        }
+        if (mode_ == PromotionMode::kFineGrained) {
+          d->set_ptr(idx, v);
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> g(hd->path_lock());
+          Object* d2 = Object::chase(d);
+          if (heap_of(d2) == hd) {
+            d2->set_ptr(idx, v);
+            return;
+          }
+          o = d2;  // target moved up mid-flight; redo against its new heap
+        }
+      }
+    }
+
+    HierRuntime* rt_;
+    Heap* heap_;
+    PromotionMode mode_;
+    std::size_t gc_budget_;
+    RootFrame* frames_ = nullptr;
+  };
+
+  HierRuntime() : HierRuntime(Options{}) {}
+  explicit HierRuntime(const Options& opts)
+      : opts_(opts), pool_(opts.workers) {}
+  HierRuntime(const HierRuntime&) = delete;
+  HierRuntime& operator=(const HierRuntime&) = delete;
+
+  const Options& options() const { return opts_; }
+  unsigned workers() const { return pool_.workers(); }
+  Stats stats() const { return stats_.snapshot(); }
+  std::size_t peak_bytes() const { return chunks_.peak_bytes(); }
+  std::size_t live_bytes() const { return chunks_.live_bytes(); }
+
+  // Execute `f(ctx)` as the root task, on the calling thread, with a
+  // fresh depth-0 heap that is torn down when f returns.
+  template <class F>
+  auto run(F&& f) {
+    WorkStealPool::Scope scope(&pool_);
+    Heap root(nullptr, 0, &chunks_);
+    Ctx ctx(this, &root);
+    return f(ctx);
+  }
+
+  // Fork-join: split the current leaf heap, run f and g in parallel in
+  // fresh child leaves, merge both back (objects keep their
+  // addresses), and return {f result, g result}. A void branch yields
+  // std::monostate in its pair slot. `roots` documents the parent
+  // locals both branches may touch; their slots stay valid because
+  // they live in the parent's frames.
+  template <class F, class G>
+  static auto fork2(Ctx& ctx, std::initializer_list<Local> roots, F&& f,
+                    G&& g) {
+    (void)roots;
+    using RA = BranchResult<F>;
+    using RB = BranchResult<G>;
+
+    HierRuntime* rt = ctx.rt_;
+    rt->stats_.forks.fetch_add(1, std::memory_order_relaxed);
+    Heap* parent = ctx.heap_;
+
+    Heap heap_a(parent, parent->depth() + 1, &rt->chunks_);
+    Heap heap_b(parent, parent->depth() + 1, &rt->chunks_);
+    Ctx ctx_a(rt, &heap_a);
+    Ctx ctx_b(rt, &heap_b);
+
+    std::optional<RB> rb;
+    std::exception_ptr err_b;
+    std::atomic<bool> done_b{false};
+
+    struct BranchB final : WorkStealPool::Task {
+      std::remove_reference_t<G>* g = nullptr;
+      Ctx* ctx = nullptr;
+      std::optional<RB>* out = nullptr;
+      std::exception_ptr* err = nullptr;
+      std::atomic<bool>* done = nullptr;
+      void execute() override {
+        try {
+          out->emplace(invoke_branch(*g, *ctx));
+        } catch (...) {
+          *err = std::current_exception();
+        }
+        done->store(true, std::memory_order_release);
+      }
+    };
+    BranchB task_b;
+    task_b.g = &g;
+    task_b.ctx = &ctx_b;
+    task_b.out = &rb;
+    task_b.err = &err_b;
+    task_b.done = &done_b;
+    rt->pool_.push(&task_b);
+
+    std::optional<RA> ra;
+    std::exception_ptr err_a;
+    try {
+      ra.emplace(invoke_branch(f, ctx_a));
+    } catch (...) {
+      err_a = std::current_exception();
+    }
+
+    if (rt->pool_.cancel(&task_b)) {
+      // Not stolen: the common case. Run the right branch inline
+      // unless the left already failed.
+      if (!err_a) {
+        task_b.execute();
+      }
+    } else {
+      rt->pool_.help_until(
+          [&] { return done_b.load(std::memory_order_acquire); });
+    }
+
+    parent->merge_from(heap_a);
+    parent->merge_from(heap_b);
+    if (rt->opts_.gc_join_threshold != 0 &&
+        parent->allocated_bytes() >= rt->opts_.gc_join_threshold) {
+      // Join-time subtree collection. Only sound when branch results
+      // carry no unrooted Object* (publish via promotion instead).
+      ctx.collect_now();
+    }
+
+    if (err_a) {
+      std::rethrow_exception(err_a);
+    }
+    if (err_b) {
+      std::rethrow_exception(err_b);
+    }
+    return std::pair<RA, RB>(std::move(*ra), std::move(*rb));
+  }
+
+ private:
+  // void branches surface as std::monostate in the result pair.
+  template <class Fn>
+  using BranchResult = std::conditional_t<
+      std::is_void_v<std::invoke_result_t<Fn&, Ctx&>>, std::monostate,
+      std::decay_t<std::invoke_result_t<Fn&, Ctx&>>>;
+
+  template <class Fn>
+  static BranchResult<Fn> invoke_branch(Fn& fn, Ctx& c) {
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, Ctx&>>) {
+      fn(c);
+      return std::monostate{};
+    } else {
+      return fn(c);
+    }
+  }
+
+  Options opts_;
+  ChunkPool chunks_;
+  StatsCell stats_;
+  WorkStealPool pool_;
+};
+
+}  // namespace parmem

@@ -1,0 +1,115 @@
+// Heap object layout, engineered so the paper's cheap rows really are
+// cheap:
+//
+//   [ fwd : 8B ][ meta : 8B ][ scalars... ][ pointers... ]
+//
+// Scalars come FIRST so an immutable i64 read is a single load at a
+// statically known offset -- no meta decode, no barrier. Pointer-field
+// access needs nscalar from meta, but every pointer op already pays a
+// barrier so the extra load is noise.
+//
+// `fwd` doubles as (a) the promotion forwarding pointer ("the master
+// copy now lives up there"), (b) the Cheney forwarding pointer during
+// leaf GC, and (c) the claim word for fine-grained promotion (value
+// kBusy while a claimer is copying).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace parmem {
+
+class Object {
+ public:
+  static constexpr std::size_t kHeaderBytes = 16;
+  static constexpr std::size_t kAlign = 16;
+
+  // Fine-grained promotion claim sentinel; never a valid object address.
+  static Object* busy_sentinel() { return reinterpret_cast<Object*>(1); }
+
+  static constexpr std::size_t size_bytes(std::uint32_t nptr,
+                                          std::uint32_t nscalar) {
+    std::size_t raw = kHeaderBytes + 8u * (std::size_t{nptr} + nscalar);
+    return (raw + (kAlign - 1)) & ~(kAlign - 1);
+  }
+
+  void init_header(std::uint32_t nptr, std::uint32_t nscalar) {
+    fwd_.store(nullptr, std::memory_order_relaxed);
+    meta_ = (std::uint64_t{nscalar} << 32) | nptr;
+  }
+
+  std::uint32_t nptr() const { return static_cast<std::uint32_t>(meta_); }
+  std::uint32_t nscalar() const {
+    return static_cast<std::uint32_t>(meta_ >> 32);
+  }
+  std::uint64_t meta_word() const { return meta_; }
+  std::size_t size() const { return size_bytes(nptr(), nscalar()); }
+
+  std::int64_t* scalars() {
+    return reinterpret_cast<std::int64_t*>(reinterpret_cast<char*>(this) +
+                                           kHeaderBytes);
+  }
+  const std::int64_t* scalars() const {
+    return const_cast<Object*>(this)->scalars();
+  }
+  Object** ptrs() { return reinterpret_cast<Object**>(scalars() + nscalar()); }
+
+  std::int64_t scalar(std::uint32_t i) const { return scalars()[i]; }
+  void set_scalar(std::uint32_t i, std::int64_t v) { scalars()[i] = v; }
+
+  Object* ptr(std::uint32_t i) {
+    return std::atomic_ref<Object*>(ptrs()[i]).load(std::memory_order_acquire);
+  }
+  void set_ptr(std::uint32_t i, Object* v) {
+    std::atomic_ref<Object*>(ptrs()[i]).store(v, std::memory_order_release);
+  }
+  void set_ptr_relaxed(std::uint32_t i, Object* v) { ptrs()[i] = v; }
+
+  Object* fwd_acquire() const { return fwd_.load(std::memory_order_acquire); }
+  Object* fwd_relaxed() const { return fwd_.load(std::memory_order_relaxed); }
+  void set_fwd(Object* f, std::memory_order mo = std::memory_order_release) {
+    fwd_.store(f, mo);
+  }
+  bool claim_fwd() {  // fine-grained promotion: null -> kBusy
+    Object* expect = nullptr;
+    return fwd_.compare_exchange_strong(expect, busy_sentinel(),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
+
+  // Follow the forwarding chain to the master copy. One predictable
+  // not-taken branch for unpromoted objects; spins past in-flight
+  // fine-grained claims.
+  static Object* chase(Object* o) {
+    Object* f = o->fwd_.load(std::memory_order_acquire);
+    while (f != nullptr) {
+      if (f == busy_sentinel()) {
+        // A concurrent fine-grained promotion is mid-copy; the claimer
+        // installs the real pointer shortly.
+        f = o->fwd_.load(std::memory_order_acquire);
+        continue;
+      }
+      o = f;
+      f = o->fwd_.load(std::memory_order_acquire);
+    }
+    return o;
+  }
+
+  void zero_fields() {
+    std::uint64_t* p = reinterpret_cast<std::uint64_t*>(scalars());
+    std::size_t n = std::size_t{nptr()} + nscalar();
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = 0;
+    }
+  }
+
+ private:
+  std::atomic<Object*> fwd_;
+  std::uint64_t meta_;
+};
+
+static_assert(sizeof(Object) == Object::kHeaderBytes,
+              "object header must be exactly two words");
+
+}  // namespace parmem

@@ -1,0 +1,192 @@
+// Promotion: when a pointer write would entangle the heap hierarchy
+// (store a deeper object into a shallower one), the transitive closure
+// of the written value that lives below the target heap is copied up
+// into it. Old copies get forwarding pointers and stay readable, so a
+// task holding a stale reference pays only a chase in its mutable
+// barriers.
+//
+// Two synchronisation protocols:
+//   kCoarseLocking -- the paper's design: lock the heap path from the
+//       target down to the writer's leaf, copy, store, unlock.
+//   kFineGrained   -- Section 5 future work: claim each object with a
+//       CAS on its forwarding word (kBusy while mid-copy) and bump the
+//       target heap under a spinlock; no path locks.
+//
+// Programs are expected to be race-free at the language level (the
+// paper's deterministic fork-join setting); racing user mutation with
+// a concurrent promotion of the same object is a program bug, exactly
+// as racing two writes is.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "core/heap.hpp"
+#include "core/object.hpp"
+#include "core/stats.hpp"
+
+namespace parmem {
+namespace detail {
+
+struct PromoteResult {
+  Object* master;              // src after promotion
+  std::uint64_t objects = 0;   // objects copied
+  std::uint64_t bytes = 0;     // bytes copied
+};
+
+// Copy `m` (chased, strictly deeper than dst) into dst. Caller holds
+// whatever lock the mode requires for dst's bump pointer.
+inline Object* copy_object_into(Object* m, Heap* dst) {
+  Object* n = dst->bump_alloc(m->nptr(), m->nscalar());
+  std::size_t payload = 8u * (std::size_t{m->nptr()} + m->nscalar());
+  std::memcpy(n->scalars(), m->scalars(), payload);
+  return n;
+}
+
+// ---- coarse path-locking protocol -----------------------------------------
+
+inline PromoteResult promote_coarse_locked(Object* src, Heap* dst) {
+  PromoteResult res{nullptr};
+  std::uint32_t target_depth = dst->depth();
+  std::vector<Object*> scan;
+
+  auto copy_one = [&](Object* m) {
+    Object* n = copy_object_into(m, dst);
+    m->set_fwd(n);  // release: publish before fields are fixed (Cheney)
+    scan.push_back(n);
+    res.objects += 1;
+    res.bytes += n->size();
+    return n;
+  };
+
+  Object* root = Object::chase(src);
+  if (heap_of(root)->depth() > target_depth) {
+    root = copy_one(root);
+  }
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    Object* n = scan[i];
+    std::uint32_t np = n->nptr();
+    for (std::uint32_t j = 0; j < np; ++j) {
+      Object* q = n->ptrs()[j];
+      if (q == nullptr) {
+        continue;
+      }
+      q = Object::chase(q);
+      if (heap_of(q)->depth() > target_depth) {
+        q = copy_one(q);
+      }
+      n->set_ptr_relaxed(j, q);
+    }
+  }
+  res.master = root;
+  return res;
+}
+
+// ---- fine-grained claim protocol ------------------------------------------
+
+inline Object* claim_and_copy_fine(Object* m, Heap* dst,
+                                   PromoteResult* res,
+                                   std::vector<Object*>* scan) {
+  std::uint32_t target_depth = dst->depth();
+  for (;;) {
+    m = Object::chase(m);  // spins past other claimers
+    if (heap_of(m)->depth() <= target_depth) {
+      return m;  // someone (possibly us, earlier) already lifted it enough
+    }
+    if (!m->claim_fwd()) {
+      continue;  // lost the race; chase the winner's forwarding pointer
+    }
+    Heap* owner = heap_of(m);
+    (void)owner;
+    dst->remote_lock().lock();
+    Object* n = copy_object_into(m, dst);
+    dst->remote_lock().unlock();
+    m->set_fwd(n);  // replaces kBusy; releases waiting chasers
+    scan->push_back(n);
+    res->objects += 1;
+    res->bytes += n->size();
+    return n;
+  }
+}
+
+inline PromoteResult promote_fine(Object* src, Heap* dst) {
+  PromoteResult res{nullptr};
+  std::vector<Object*> scan;
+  res.master = claim_and_copy_fine(src, dst, &res, &scan);
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    Object* n = scan[i];
+    std::uint32_t np = n->nptr();
+    for (std::uint32_t j = 0; j < np; ++j) {
+      Object* q = n->ptrs()[j];
+      if (q == nullptr) {
+        continue;
+      }
+      q = claim_and_copy_fine(q, dst, &res, &scan);
+      n->set_ptr(j, q);
+    }
+  }
+  return res;
+}
+
+// Lock the heap path from `dst` (exclusive top) down to `leaf`,
+// shallow-first to keep a global acquisition order along tree paths.
+class PathLockGuard {
+ public:
+  PathLockGuard(Heap* leaf, Heap* dst) {
+    for (Heap* h = leaf; h != nullptr; h = h->parent()) {
+      heaps_.push_back(h);
+      if (h == dst) {
+        break;
+      }
+    }
+    for (std::size_t i = heaps_.size(); i-- > 0;) {
+      heaps_[i]->path_lock().lock();
+    }
+  }
+  ~PathLockGuard() {
+    for (Heap* h : heaps_) {
+      h->path_lock().unlock();
+    }
+  }
+  PathLockGuard(const PathLockGuard&) = delete;
+  PathLockGuard& operator=(const PathLockGuard&) = delete;
+
+ private:
+  std::vector<Heap*> heaps_;  // leaf-first (deepest to shallowest)
+};
+
+}  // namespace detail
+
+// Promote the closure of `v` into heap_of(dst_obj) and then perform
+// the entangling store dst_obj.ptr[idx] = v, all under the protocol
+// selected by `mode`. `leaf` is the writing task's leaf heap.
+inline void promote_and_store(Object* dst_obj, std::uint32_t idx, Object* v,
+                              Heap* leaf, PromotionMode mode,
+                              StatsCell* stats) {
+  stats->promotions.fetch_add(1, std::memory_order_relaxed);
+  detail::PromoteResult res{nullptr};
+  if (mode == PromotionMode::kCoarseLocking) {
+    // The destination object may itself be mid-promotion by a cousin;
+    // re-chase under the locks and restart if it moved above our lock
+    // span.
+    for (;;) {
+      Heap* dst_heap = heap_of(dst_obj = Object::chase(dst_obj));
+      detail::PathLockGuard guard(leaf, dst_heap);
+      Object* d = Object::chase(dst_obj);
+      if (heap_of(d) != dst_heap) {
+        continue;  // moved while we were acquiring; retry at new depth
+      }
+      res = detail::promote_coarse_locked(v, dst_heap);
+      d->set_ptr(idx, res.master);
+      break;
+    }
+  } else {
+    Heap* dst_heap = heap_of(Object::chase(dst_obj));
+    res = detail::promote_fine(v, dst_heap);
+    Object::chase(dst_obj)->set_ptr(idx, res.master);
+  }
+  stats->promoted_objects.fetch_add(res.objects, std::memory_order_relaxed);
+  stats->promoted_bytes.fetch_add(res.bytes, std::memory_order_relaxed);
+}
+
+}  // namespace parmem

@@ -1,0 +1,191 @@
+// Work-stealing fork-join scheduler. fork2 pushes the right branch on
+// the calling worker's deque, runs the left branch inline, then either
+// pops the right branch back (the common, steal-free case -- this is
+// what keeps hierarchical heaps promotion-free on balanced work) or
+// helps by stealing other tasks until the thief finishes.
+//
+// Tasks are stack-allocated by fork2 and joined before the frame dies,
+// so the deques hold raw pointers and never allocate per fork beyond
+// the vector push.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace parmem {
+
+class WorkStealPool {
+ public:
+  class Task {
+   public:
+    virtual void execute() = 0;
+
+   protected:
+    ~Task() = default;
+  };
+
+  explicit WorkStealPool(unsigned workers) {
+    if (workers == 0) {
+      workers = std::thread::hardware_concurrency();
+      if (workers == 0) {
+        workers = 1;
+      }
+    }
+    deques_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      deques_.push_back(std::make_unique<Deque>());
+    }
+    // Worker 0 is the thread that calls run(); spawn the rest.
+    for (unsigned i = 1; i < workers; ++i) {
+      threads_.emplace_back([this, i] { worker_main(i); });
+    }
+  }
+
+  ~WorkStealPool() {
+    stop_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> g(sleep_mu_);
+    }
+    sleep_cv_.notify_all();
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+
+  unsigned workers() const { return static_cast<unsigned>(deques_.size()); }
+
+  // RAII registration of the calling thread as worker 0 for the
+  // duration of a run(); nests correctly across runtimes.
+  class Scope {
+   public:
+    explicit Scope(WorkStealPool* p) : saved_(tls()) { tls() = {p, 0}; }
+    ~Scope() { tls() = saved_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    std::pair<WorkStealPool*, unsigned> saved_;
+  };
+
+  void push(Task* t) {
+    auto [pool, idx] = tls();
+    assert(pool == this && "fork2 must run on a thread owned by its runtime");
+    Deque& d = *deques_[idx];
+    {
+      std::lock_guard<std::mutex> g(d.mu);
+      d.tasks.push_back(t);
+    }
+    if (sleepers_.load(std::memory_order_relaxed) > 0) {
+      sleep_cv_.notify_one();
+    }
+  }
+
+  // Remove `t` if it is still the newest entry of our own deque (i.e.
+  // it was not stolen). Returns true when the caller should run it
+  // inline.
+  bool cancel(Task* t) {
+    auto [pool, idx] = tls();
+    assert(pool == this);
+    Deque& d = *deques_[idx];
+    std::lock_guard<std::mutex> g(d.mu);
+    if (!d.tasks.empty() && d.tasks.back() == t) {
+      d.tasks.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  // Join loop: execute other tasks until `done` returns true.
+  template <class Pred>
+  void help_until(Pred&& done) {
+    unsigned idle = 0;
+    while (!done()) {
+      Task* t = try_steal();
+      if (t != nullptr) {
+        t->execute();
+        idle = 0;
+        continue;
+      }
+      back_off(idle++);
+    }
+  }
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::vector<Task*> tasks;
+  };
+
+  static std::pair<WorkStealPool*, unsigned>& tls() {
+    static thread_local std::pair<WorkStealPool*, unsigned> slot{nullptr, 0};
+    return slot;
+  }
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
+  static void back_off(unsigned idle) {
+    if (idle < 64) {
+      cpu_relax();
+    } else if (idle < 256) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  // Steal the OLDEST task from any deque (FIFO end: big, forked-early
+  // work), scanning from our own index to spread contention.
+  Task* try_steal() {
+    auto [pool, idx] = tls();
+    unsigned n = workers();
+    for (unsigned k = 0; k < n; ++k) {
+      Deque& d = *deques_[(idx + k) % n];
+      std::lock_guard<std::mutex> g(d.mu);
+      if (!d.tasks.empty()) {
+        Task* t = d.tasks.front();
+        d.tasks.erase(d.tasks.begin());
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  void worker_main(unsigned idx) {
+    tls() = {this, idx};
+    while (!stop_.load(std::memory_order_acquire)) {
+      Task* t = try_steal();
+      if (t != nullptr) {
+        t->execute();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      if (stop_.load(std::memory_order_acquire)) {
+        break;
+      }
+      sleepers_.fetch_add(1, std::memory_order_relaxed);
+      sleep_cv_.wait_for(lk, std::chrono::microseconds(500));
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    tls() = {nullptr, 0};
+  }
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> sleepers_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+};
+
+}  // namespace parmem

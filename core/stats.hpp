@@ -1,0 +1,66 @@
+// Runtime-wide counters and tuning knobs shared by every runtime
+// flavour (hier today; seq/stw/localheap in later PRs). Counters are
+// updated only on slow paths (promotion, GC, chunk traffic) so they
+// never tax the nanosecond fast paths.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace parmem {
+
+// How entangling pointer writes promote the source closure.
+enum class PromotionMode {
+  kCoarseLocking,  // lock the heap path from target down to leaf (paper Sec 3)
+  kFineGrained,    // CAS-claim per object + spinlocked remote bump (Sec 5)
+};
+
+// Snapshot of runtime counters. Monotonic over the life of a runtime;
+// bench_common::measure() diffs two snapshots around a run.
+struct Stats {
+  std::uint64_t promotions = 0;        // entangling writes that promoted
+  std::uint64_t promoted_objects = 0;  // objects copied up by promotion
+  std::uint64_t promoted_bytes = 0;    // bytes copied up by promotion
+  std::uint64_t gc_count = 0;          // leaf collections
+  std::uint64_t gc_bytes_copied = 0;   // live bytes evacuated by leaf GC
+  std::uint64_t gc_ns = 0;             // wall time spent in leaf GC
+  std::uint64_t forks = 0;             // fork2 calls
+
+  Stats operator-(const Stats& o) const {
+    Stats d;
+    d.promotions = promotions - o.promotions;
+    d.promoted_objects = promoted_objects - o.promoted_objects;
+    d.promoted_bytes = promoted_bytes - o.promoted_bytes;
+    d.gc_count = gc_count - o.gc_count;
+    d.gc_bytes_copied = gc_bytes_copied - o.gc_bytes_copied;
+    d.gc_ns = gc_ns - o.gc_ns;
+    d.forks = forks - o.forks;
+    return d;
+  }
+};
+
+// Shared mutable counter block; one per runtime instance.
+struct StatsCell {
+  std::atomic<std::uint64_t> promotions{0};
+  std::atomic<std::uint64_t> promoted_objects{0};
+  std::atomic<std::uint64_t> promoted_bytes{0};
+  std::atomic<std::uint64_t> gc_count{0};
+  std::atomic<std::uint64_t> gc_bytes_copied{0};
+  std::atomic<std::uint64_t> gc_ns{0};
+  std::atomic<std::uint64_t> forks{0};
+
+  Stats snapshot() const {
+    Stats s;
+    s.promotions = promotions.load(std::memory_order_relaxed);
+    s.promoted_objects = promoted_objects.load(std::memory_order_relaxed);
+    s.promoted_bytes = promoted_bytes.load(std::memory_order_relaxed);
+    s.gc_count = gc_count.load(std::memory_order_relaxed);
+    s.gc_bytes_copied = gc_bytes_copied.load(std::memory_order_relaxed);
+    s.gc_ns = gc_ns.load(std::memory_order_relaxed);
+    s.forks = forks.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace parmem

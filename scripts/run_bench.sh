@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Build (Release) and run the perf baseline:
+#   micro_ops      -> BENCH_micro.json   (google-benchmark JSON, the
+#                                         baseline later perf PRs diff)
+#   fig08_op_costs -> BENCH_fig08.txt    (the paper's Figure 8 matrix)
+#
+# Usage: scripts/run_bench.sh [--quick]
+#   --quick   smoke mode: short min-time per benchmark, for CI.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" --target micro_ops fig08_op_costs >/dev/null
+
+BM_ARGS=(
+  "--benchmark_out=$ROOT/BENCH_micro.json"
+  "--benchmark_out_format=json"
+)
+if [ "$QUICK" -eq 1 ]; then
+  BM_ARGS+=("--benchmark_min_time=0.05")
+else
+  BM_ARGS+=("--benchmark_min_time=0.5")
+fi
+
+"$BUILD/micro_ops" "${BM_ARGS[@]}"
+
+FIG08_ARGS=()
+if [ "$QUICK" -eq 1 ]; then
+  FIG08_ARGS+=("--quick")
+fi
+"$BUILD/fig08_op_costs" "${FIG08_ARGS[@]+"${FIG08_ARGS[@]}"}" \
+  | tee "$ROOT/BENCH_fig08.txt"
+
+echo
+echo "baseline written: $ROOT/BENCH_micro.json, $ROOT/BENCH_fig08.txt"

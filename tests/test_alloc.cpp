@@ -1,0 +1,124 @@
+// Allocation invariants: alignment, zeroing (including through chunk
+// reuse after GC), metadata, chunk-boundary and oversized paths.
+#include <cstdint>
+
+#include "core/hier_runtime.hpp"
+#include "tests/test_util.hpp"
+
+namespace parmem {
+namespace {
+
+using Ctx = HierRuntime::Ctx;
+
+PARMEM_TEST(alloc_alignment_and_metadata) {
+  HierRuntime rt;
+  rt.run([](Ctx& ctx) {
+    for (std::uint32_t np = 0; np < 4; ++np) {
+      for (std::uint32_t ns = 0; ns < 4; ++ns) {
+        Object* o = ctx.alloc(np, ns);
+        CHECK(reinterpret_cast<std::uintptr_t>(o) % Object::kAlign == 0);
+        CHECK_EQ(o->nptr(), np);
+        CHECK_EQ(o->nscalar(), ns);
+        CHECK(o->size() >= Object::kHeaderBytes + 8u * (np + ns));
+        CHECK(o->size() % Object::kAlign == 0);
+      }
+    }
+    return 0;
+  });
+}
+
+PARMEM_TEST(alloc_zeroes_all_fields) {
+  HierRuntime rt;
+  rt.run([](Ctx& ctx) {
+    Object* o = ctx.alloc(3, 5);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      CHECK_EQ(Ctx::read_i64_imm(o, i), 0);
+    }
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      CHECK(Ctx::read_ptr(o, i) == nullptr);
+    }
+    return 0;
+  });
+}
+
+PARMEM_TEST(alloc_zeroed_through_chunk_reuse) {
+  // Dirty chunks, let the leaf GC recycle them through the pool, and
+  // confirm fresh allocations still come back zeroed.
+  HierRuntime::Options o;
+  o.gc_min_budget = 256u << 10;
+  HierRuntime rt(o);
+  rt.run([](Ctx& ctx) {
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < 100000; ++i) {
+        Object* junk = ctx.alloc(1, 2);
+        Ctx::init_i64(junk, 0, -1);
+        Ctx::init_i64(junk, 1, -1);
+        junk->set_ptr_relaxed(0, junk);  // self-loop garbage
+      }
+    }
+    CHECK(ctx.runtime().stats().gc_count > 0);
+    Object* fresh = ctx.alloc(2, 2);
+    CHECK_EQ(Ctx::read_i64_imm(fresh, 0), 0);
+    CHECK_EQ(Ctx::read_i64_imm(fresh, 1), 0);
+    CHECK(Ctx::read_ptr(fresh, 0) == nullptr);
+    CHECK(Ctx::read_ptr(fresh, 1) == nullptr);
+    return 0;
+  });
+}
+
+PARMEM_TEST(alloc_oversized_object) {
+  HierRuntime rt;
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    // 100k scalars = 800KB payload > 256KB chunk: dedicated chunk path.
+    const std::uint32_t n = 100000;
+    Local big = frame.local(ctx.alloc(1, n));
+    CHECK_EQ(heap_of(big.get())->depth(), 0u);
+    for (std::uint32_t i = 0; i < n; i += 9973) {
+      CHECK_EQ(Ctx::read_i64_imm(big.get(), i), 0);
+      ctx.write_i64(big.get(), i, i * 3);
+    }
+    Object* small = ctx.alloc(0, 1);  // heap still usable after oversize
+    Ctx::init_i64(small, 0, 7);
+    // Objects allocated right after an oversized one must NOT land in
+    // the oversized chunk's tail: past the first 256KiB-aligned block
+    // the chunk_of() address mask would resolve to garbage.
+    CHECK(chunk_of(small) != chunk_of(big.get()));
+    CHECK(heap_of(small) == heap_of(big.get()));
+    Local small_root = frame.local(small);
+    ctx.write_ptr(big.get(), 0, small);  // exercises heap_of(small)
+    CHECK(Ctx::read_ptr(big.get(), 0) == small);
+    ctx.collect_now();  // both survive relocation; link stays intact
+    CHECK(Ctx::read_ptr(big.get(), 0) == small_root.get());
+    for (std::uint32_t i = 0; i < n; i += 9973) {
+      CHECK_EQ(Ctx::read_i64_mut(big.get(), i), i * 3);
+    }
+    CHECK_EQ(Ctx::read_i64_imm(small_root.get(), 0), 7);
+    return 0;
+  });
+}
+
+PARMEM_TEST(alloc_many_distinct_objects) {
+  HierRuntime rt;
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    constexpr int kN = 50000;  // spans several chunks
+    Local head = frame.local(nullptr);
+    for (int i = 0; i < kN; ++i) {
+      Object* node = ctx.alloc(1, 1);
+      Ctx::init_i64(node, 0, i);
+      node->set_ptr_relaxed(0, head.get());
+      head.set(node);
+    }
+    std::int64_t expect = kN - 1;
+    for (Object* n = head.get(); n != nullptr; n = Ctx::read_ptr(n, 0)) {
+      CHECK_EQ(Ctx::read_i64_imm(n, 0), expect);
+      --expect;
+    }
+    CHECK_EQ(expect, -1);
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace parmem

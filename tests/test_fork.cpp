@@ -1,0 +1,165 @@
+// fork2: result plumbing, determinism across repeated parallel runs,
+// nesting depth, exception propagation, and the join-time heap merge
+// that keeps child-allocated objects alive at stable addresses.
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/hier_runtime.hpp"
+#include "tests/test_util.hpp"
+
+namespace parmem {
+namespace {
+
+using Ctx = HierRuntime::Ctx;
+
+std::int64_t fib(Ctx& c, int n) {
+  if (n < 2) {
+    return n;
+  }
+  auto [a, b] = HierRuntime::fork2(
+      c, {}, [n](Ctx& cc) { return fib(cc, n - 1); },
+      [n](Ctx& cc) { return fib(cc, n - 2); });
+  return a + b;
+}
+
+PARMEM_TEST(fork2_deterministic_results) {
+  HierRuntime::Options opts;
+  opts.workers = 4;
+  HierRuntime rt(opts);
+  for (int round = 0; round < 3; ++round) {
+    std::int64_t r = rt.run([](Ctx& ctx) { return fib(ctx, 18); });
+    CHECK_EQ(r, 2584);
+  }
+  CHECK(rt.stats().forks > 0);
+}
+
+PARMEM_TEST(fork2_heterogeneous_results) {
+  HierRuntime rt;
+  auto out = rt.run([](Ctx& ctx) {
+    auto [a, b] = HierRuntime::fork2(
+        ctx, {}, [](Ctx&) { return 3.5; },
+        [](Ctx&) { return std::int64_t{7}; });
+    return static_cast<double>(b) + a;
+  });
+  CHECK(out == 10.5);
+}
+
+PARMEM_TEST(fork2_merge_keeps_child_objects) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  HierRuntime rt(opts);
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    constexpr int kN = 1000;
+    // Each branch builds a list in its own leaf and returns the raw
+    // head pointer; the join merges chunks so addresses stay valid.
+    auto build = [](Ctx& c, std::int64_t tag) {
+      RootFrame f(c);
+      Local head = f.local(nullptr);
+      for (int i = 0; i < kN; ++i) {
+        Object* node = c.alloc(1, 1);
+        Ctx::init_i64(node, 0, tag + i);
+        node->set_ptr_relaxed(0, head.get());
+        head.set(node);
+      }
+      return head.get();
+    };
+    auto [left, right] = HierRuntime::fork2(
+        ctx, {}, [&build](Ctx& c) { return build(c, 1000000); },
+        [&build](Ctx& c) { return build(c, 2000000); });
+
+    Local lroot = frame.local(left);
+    Local rroot = frame.local(right);
+    CHECK_EQ(heap_of(lroot.get())->depth(), 0u);  // merged into the parent
+    CHECK_EQ(heap_of(rroot.get())->depth(), 0u);
+
+    auto check_list = [](Object* head, std::int64_t tag) {
+      std::int64_t expect = tag + kN - 1;
+      for (Object* p = head; p != nullptr; p = Ctx::read_ptr(p, 0)) {
+        CHECK_EQ(Ctx::read_i64_imm(p, 0), expect);
+        --expect;
+      }
+      CHECK_EQ(expect, tag - 1);
+    };
+    check_list(lroot.get(), 1000000);
+    check_list(rroot.get(), 2000000);
+
+    // Survives a forced parent collection too (roots relocate).
+    ctx.collect_now();
+    check_list(lroot.get(), 1000000);
+    check_list(rroot.get(), 2000000);
+    CHECK_EQ(ctx.runtime().stats().promotions, 0u);  // merge, not promotion
+    return 0;
+  });
+}
+
+PARMEM_TEST(fork2_nested_depth) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  HierRuntime rt(opts);
+  std::int64_t r = rt.run([](Ctx& ctx) {
+    // 2^6 leaves each allocating: exercises heap split/merge 63 times.
+    struct Rec {
+      static std::int64_t go(Ctx& c, int depth) {
+        if (depth == 0) {
+          RootFrame f(c);
+          Local o = f.local(c.alloc(0, 1));
+          Ctx::init_i64(o.get(), 0, 1);
+          return Ctx::read_i64_mut(o.get(), 0);
+        }
+        auto [a, b] = HierRuntime::fork2(
+            c, {}, [depth](Ctx& cc) { return Rec::go(cc, depth - 1); },
+            [depth](Ctx& cc) { return Rec::go(cc, depth - 1); });
+        return a + b;
+      }
+    };
+    return Rec::go(ctx, 6);
+  });
+  CHECK_EQ(r, 64);
+}
+
+PARMEM_TEST(fork2_void_branches) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  HierRuntime rt(opts);
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    Local box = frame.local(ctx.alloc(2, 0));
+    auto [a, b] = HierRuntime::fork2(
+        ctx, {box},
+        [box](Ctx& c) {  // effect-only branch: no return value needed
+          Object* cell = c.alloc(0, 1);
+          Ctx::init_i64(cell, 0, 17);
+          c.write_ptr(box.get(), 0, cell);
+        },
+        [box](Ctx& c) { return Ctx::read_i64_imm(box.get(), 1); });
+    static_assert(std::is_same_v<decltype(a), std::monostate>);
+    CHECK_EQ(b, 0);
+    CHECK_EQ(Ctx::read_i64_mut(Ctx::read_ptr(box.get(), 0), 0), 17);
+    return 0;
+  });
+}
+
+PARMEM_TEST(fork2_propagates_exceptions) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  HierRuntime rt(opts);
+  bool caught = false;
+  try {
+    rt.run([](Ctx& ctx) {
+      auto [a, b] = HierRuntime::fork2(
+          ctx, {}, [](Ctx&) { return 1; },
+          [](Ctx&) -> int { throw std::runtime_error("branch b"); });
+      return a + b;
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    CHECK(std::string(e.what()) == "branch b");
+  }
+  CHECK(caught);
+  // The runtime is still usable afterwards.
+  CHECK_EQ(rt.run([](Ctx& ctx) { return fib(ctx, 10); }), 55);
+}
+
+}  // namespace
+}  // namespace parmem

@@ -1,0 +1,38 @@
+#include "tests/test_util.hpp"
+
+namespace parmem::test {
+
+std::map<std::string, TestFn>& registry() {
+  static std::map<std::string, TestFn> r;
+  return r;
+}
+
+}  // namespace parmem::test
+
+int main(int argc, char** argv) {
+  auto& reg = parmem::test::registry();
+  if (argc > 1 && std::string(argv[1]) == "--list") {
+    for (const auto& [name, fn] : reg) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (argc > 1) {
+    auto it = reg.find(argv[1]);
+    if (it == reg.end()) {
+      std::fprintf(stderr, "unknown test: %s\n", argv[1]);
+      return 1;
+    }
+    it->second();
+    std::printf("OK %s\n", argv[1]);
+    return 0;
+  }
+  for (const auto& [name, fn] : reg) {
+    std::printf("RUN  %s\n", name.c_str());
+    std::fflush(stdout);
+    fn();
+    std::printf("OK   %s\n", name.c_str());
+  }
+  std::printf("all %zu tests passed\n", reg.size());
+  return 0;
+}

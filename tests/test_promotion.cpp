@@ -1,0 +1,172 @@
+// Promotion correctness: transitive closures (lists, diamonds, cycles)
+// survive promotion with graph shape and identity intact, in both the
+// coarse path-locking mode and the fine-grained CAS-claim mode, and
+// concurrent promoters into the same ancestor heap do not corrupt it.
+#include <cstdint>
+
+#include "core/hier_runtime.hpp"
+#include "tests/test_util.hpp"
+
+namespace parmem {
+namespace {
+
+using Ctx = HierRuntime::Ctx;
+
+// Builds a child-local list of n nodes [ptr, scalar] with values
+// n-1..0 from head, publishes it into the parent box, and checks the
+// promoted list from the parent after the join.
+void promote_list_scenario(PromotionMode mode, int n) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  opts.promotion = mode;
+  HierRuntime rt(opts);
+  rt.run([&rt, n](Ctx& ctx) {
+    RootFrame frame(ctx);
+    Local box = frame.local(ctx.alloc(1, 0));
+    HierRuntime::fork2(
+        ctx, {box},
+        [box, n](Ctx& c) {
+          RootFrame f(c);
+          Local head = f.local(nullptr);
+          for (int i = 0; i < n; ++i) {
+            Object* node = c.alloc(1, 1);
+            Ctx::init_i64(node, 0, i);
+            node->set_ptr_relaxed(0, head.get());
+            head.set(node);
+          }
+          c.write_ptr(box.get(), 0, head.get());  // promotes all n nodes
+          // The stale head still reaches every element via barriers.
+          std::int64_t expect = n - 1;
+          for (Object* p = head.get(); p != nullptr; p = Ctx::read_ptr(p, 0)) {
+            CHECK_EQ(c.read_i64_mut(p, 0), expect);
+            --expect;
+          }
+          CHECK_EQ(expect, -1);
+          return std::int64_t{0};
+        },
+        [](Ctx&) { return std::int64_t{0}; });
+
+    // Parent-side traversal of the promoted masters.
+    std::int64_t expect = n - 1;
+    for (Object* p = Ctx::read_ptr(box.get(), 0); p != nullptr;
+         p = Ctx::read_ptr(p, 0)) {
+      CHECK_EQ(heap_of(Object::chase(p))->depth(), 0u);
+      CHECK_EQ(Ctx::read_i64_mut(p, 0), expect);
+      --expect;
+    }
+    CHECK_EQ(expect, -1);
+    Stats s = rt.stats();
+    CHECK_EQ(s.promotions, 1u);
+    CHECK_EQ(s.promoted_objects, static_cast<std::uint64_t>(n));
+    return 0;
+  });
+}
+
+PARMEM_TEST(promote_list_coarse) {
+  promote_list_scenario(PromotionMode::kCoarseLocking, 100);
+}
+
+PARMEM_TEST(promote_list_fine) {
+  promote_list_scenario(PromotionMode::kFineGrained, 100);
+}
+
+// Diamond sharing and a 2-cycle: promotion must keep identity (the
+// shared node is copied once) and terminate on cycles.
+void promote_shape_scenario(PromotionMode mode) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  opts.promotion = mode;
+  HierRuntime rt(opts);
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    Local box = frame.local(ctx.alloc(1, 0));
+    HierRuntime::fork2(
+        ctx, {box},
+        [box](Ctx& c) {
+          RootFrame f(c);
+          // top -> {a, b}; a -> shared; b -> shared; shared <-> top (cycle)
+          Local shared = f.local(c.alloc(1, 1));
+          Ctx::init_i64(shared.get(), 0, 777);
+          Local a = f.local(c.alloc(1, 0));
+          Local b = f.local(c.alloc(1, 0));
+          Local top = f.local(c.alloc(2, 0));
+          c.write_ptr(a.get(), 0, shared.get());
+          c.write_ptr(b.get(), 0, shared.get());
+          c.write_ptr(top.get(), 0, a.get());
+          c.write_ptr(top.get(), 1, b.get());
+          c.write_ptr(shared.get(), 0, top.get());  // cycle back
+          c.write_ptr(box.get(), 0, top.get());     // promote the lot
+          return std::int64_t{0};
+        },
+        [](Ctx&) { return std::int64_t{0}; });
+
+    Object* top = Ctx::read_ptr(box.get(), 0);
+    Object* a = Ctx::read_ptr(top, 0);
+    Object* b = Ctx::read_ptr(top, 1);
+    Object* sa = Object::chase(Ctx::read_ptr(a, 0));
+    Object* sb = Object::chase(Ctx::read_ptr(b, 0));
+    CHECK(sa == sb);  // diamond: single master for the shared node
+    CHECK_EQ(Ctx::read_i64_mut(sa, 0), 777);
+    CHECK(Object::chase(Ctx::read_ptr(sa, 0)) == Object::chase(top));  // cycle
+    // A write through one arm is visible through the other.
+    Ctx::write_i64(sa, 0, 778);
+    CHECK_EQ(Ctx::read_i64_mut(Ctx::read_ptr(b, 0), 0), 778);
+    return 0;
+  });
+}
+
+PARMEM_TEST(promote_diamond_cycle_coarse) {
+  promote_shape_scenario(PromotionMode::kCoarseLocking);
+}
+
+PARMEM_TEST(promote_diamond_cycle_fine) {
+  promote_shape_scenario(PromotionMode::kFineGrained);
+}
+
+// Both children repeatedly promote fresh objects into their own slot
+// of a shared parent array: exercises concurrent promotion into one
+// ancestor heap under each protocol.
+void concurrent_promotion_scenario(PromotionMode mode) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  opts.promotion = mode;
+  HierRuntime rt(opts);
+  constexpr int kIters = 20000;
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    Local slots = frame.local(ctx.alloc(2, 0));
+    auto hammer = [slots](Ctx& c, std::uint32_t slot) {
+      std::int64_t last = -1;
+      for (int i = 0; i < kIters; ++i) {
+        Object* fresh = c.alloc(0, 1);
+        Ctx::init_i64(fresh, 0, i);
+        c.write_ptr(slots.get(), slot, fresh);
+        last = Ctx::read_i64_mut(Ctx::read_ptr(slots.get(), slot), 0);
+        CHECK_EQ(last, i);
+      }
+      return last;
+    };
+    auto [l, r] = HierRuntime::fork2(
+        ctx, {slots}, [&hammer](Ctx& c) { return hammer(c, 0); },
+        [&hammer](Ctx& c) { return hammer(c, 1); });
+    CHECK_EQ(l, kIters - 1);
+    CHECK_EQ(r, kIters - 1);
+    CHECK_EQ(Ctx::read_i64_mut(Ctx::read_ptr(slots.get(), 0), 0), kIters - 1);
+    CHECK_EQ(Ctx::read_i64_mut(Ctx::read_ptr(slots.get(), 1), 0), kIters - 1);
+    return 0;
+  });
+  Stats s = rt.stats();
+  CHECK(s.promotions >= 2u * kIters);
+  CHECK(s.promoted_bytes >= s.promoted_objects * Object::kHeaderBytes);
+}
+
+PARMEM_TEST(promote_concurrent_coarse) {
+  concurrent_promotion_scenario(PromotionMode::kCoarseLocking);
+}
+
+PARMEM_TEST(promote_concurrent_fine) {
+  concurrent_promotion_scenario(PromotionMode::kFineGrained);
+}
+
+}  // namespace
+}  // namespace parmem
