@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
                   return bench_msort_pure(r, z);
                 });
     std::printf("%9zuKiB | %9.3f | %6.1f%% | %8llu | %10.1f | %9.1f\n",
-                budget >> 10, m.seconds, 100.0 * m.gc_fraction(),
+                budget >> 10, m.seconds, 100.0 * m.gc_fraction(procs),
                 static_cast<unsigned long long>(m.stats.gc_count),
                 static_cast<double>(m.stats.gc_bytes_copied) /
                     (1024.0 * 1024.0),

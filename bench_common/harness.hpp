@@ -34,15 +34,50 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Problem sizes, uniformly shrunk by --scale / --quick.
+// Problem sizes, uniformly shrunk by --scale / --quick. The per-kernel
+// fields are derived from `scale` in parse_options; tests and ablations
+// override them directly.
 struct Sizes {
   double scale = 1.0;
   std::int64_t seq_n = std::int64_t{1} << 24;  // element count for seq kernels
   std::uint64_t seed = 42;
 
+  std::int64_t msort_n = std::int64_t{1} << 22;       // imperative sort input
+  std::int64_t msort_pure_n = std::int64_t{1} << 21;  // pure sort input
+  std::int64_t sort_grain = 8192;  // sequential cutoff for the sorts
+  std::int64_t seq_grain = 8192;   // elements per task in seq kernels
+  std::int64_t fib_n = 30;
+  std::int64_t dmm_n = 192;           // dense matrix dimension
+  std::int64_t smvm_rows = std::int64_t{1} << 19;  // sparse rows (8 nnz each)
+  std::int64_t usp_side = 96;         // BFS grid is usp_side x usp_side
+
   std::int64_t scaled(std::int64_t base) const {
     auto v = static_cast<std::int64_t>(static_cast<double>(base) * scale);
     return v > 1 ? v : 1;
+  }
+
+  // Re-derive every per-kernel size from `scale`, keeping each kernel's
+  // asymptotic work roughly proportional to it.
+  void rescale() {
+    auto dim = [&](std::int64_t base, double exponent, std::int64_t floor) {
+      auto v = static_cast<std::int64_t>(
+          static_cast<double>(base) *
+          __builtin_exp2(exponent * __builtin_log2(scale > 0 ? scale : 1e-6)));
+      return v > floor ? v : floor;
+    };
+    seq_n = scaled(std::int64_t{1} << 24);
+    msort_n = scaled(std::int64_t{1} << 22);
+    msort_pure_n = scaled(std::int64_t{1} << 21);
+    // fib's work is exponential in n: shift the BASE n (30) by
+    // log2(scale), so repeated rescale() calls are idempotent.
+    std::int64_t shift = 0;
+    for (double s = scale; s < 0.75 && shift < 20; s *= 2.0) {
+      ++shift;
+    }
+    fib_n = 30 - shift > 8 ? 30 - shift : 8;
+    dmm_n = dim(192, 1.0 / 3.0, 8);     // n^3 work
+    smvm_rows = scaled(std::int64_t{1} << 19);
+    usp_side = dim(96, 1.0 / 3.0, 8);   // ~side^3 work (side^2 x diameter)
   }
 };
 
@@ -52,6 +87,7 @@ struct Options {
   bool quick = false;
   Sizes sizes;
   std::string bench_filter;  // comma-separated names; empty = all
+  std::string json_out;      // write per-runtime JSON sections here
 
   bool selected(const char* name) const {
     if (bench_filter.empty()) {
@@ -91,12 +127,14 @@ inline Options parse_options(int argc, char** argv) {
       opt.sizes.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--bench=")) {
       opt.bench_filter = v;
+    } else if (const char* v = value("--json=")) {
+      opt.json_out = v;
     } else if (std::strcmp(a, "--quick") == 0) {
       opt.quick = true;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --procs=P --runs=R --scale=F --seed=S --bench=a,b "
-          "--quick\n");
+          "--json=PATH --quick\n");
       std::exit(0);
     }
   }
@@ -110,7 +148,7 @@ inline Options parse_options(int argc, char** argv) {
     opt.sizes.scale *= 0.05;
     opt.runs = 1;
   }
-  opt.sizes.seq_n = opt.sizes.scaled(std::int64_t{1} << 24);
+  opt.sizes.rescale();
   if (opt.runs < 1) {
     opt.runs = 1;
   }
@@ -126,9 +164,14 @@ struct Measurement {
   Stats stats;
   std::size_t peak_bytes = 0;
 
-  double gc_fraction() const {
-    return seconds > 0.0 ? (static_cast<double>(stats.gc_ns) * 1e-9) / seconds
-                         : 0.0;
+  // Fraction of PROCESSOR time spent in GC. gc_ns aggregates across
+  // workers (concurrent leaf GCs under hier; all stopped workers under
+  // stw), so the denominator for a P-proc run is P * wall.
+  double gc_fraction(unsigned procs = 1) const {
+    return seconds > 0.0
+               ? (static_cast<double>(stats.gc_ns) * 1e-9) /
+                     (static_cast<double>(procs) * seconds)
+               : 0.0;
   }
 };
 
@@ -160,6 +203,73 @@ Measurement measure(RT& rt, const Sizes& sizes, int runs, Fn&& fn) {
   m.peak_bytes = rt.peak_bytes();
   return m;
 }
+
+// Streams `{"procs":P,"scale":S,"runtimes":{"seq":[{...},...],...}}`
+// -- one section per runtime -- so scripts/run_bench.sh can record a
+// machine-readable per-runtime baseline next to BENCH_micro.json.
+class RuntimeJson {
+ public:
+  bool open(const std::string& path, unsigned procs, const Sizes& sizes) {
+    if (path.empty()) {
+      return false;
+    }
+    f_ = std::fopen(path.c_str(), "w");
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f_, "{\n  \"procs\": %u,\n  \"scale\": %g,\n"
+                     "  \"runtimes\": {",
+                 procs, sizes.scale);
+    return true;
+  }
+
+  void begin_runtime(const char* name) {
+    if (f_ == nullptr) {
+      return;
+    }
+    std::fprintf(f_, "%s\n    \"%s\": [", first_rt_ ? "" : ",", name);
+    first_rt_ = false;
+    first_row_ = true;
+  }
+
+  void add(const char* bench, unsigned procs, const Measurement& m) {
+    if (f_ == nullptr) {
+      return;
+    }
+    std::fprintf(
+        f_,
+        "%s\n      {\"name\": \"%s\", \"procs\": %u, \"seconds\": %.6f, "
+        "\"checksum\": %lld, \"peak_bytes\": %zu, \"gc_count\": %llu, "
+        "\"gc_ns\": %llu, \"promotions\": %llu, \"promoted_bytes\": %llu}",
+        first_row_ ? "" : ",", bench, procs, m.seconds,
+        static_cast<long long>(m.checksum), m.peak_bytes,
+        static_cast<unsigned long long>(m.stats.gc_count),
+        static_cast<unsigned long long>(m.stats.gc_ns),
+        static_cast<unsigned long long>(m.stats.promotions),
+        static_cast<unsigned long long>(m.stats.promoted_bytes));
+    first_row_ = false;
+  }
+
+  void end_runtime() {
+    if (f_ != nullptr) {
+      std::fprintf(f_, "\n    ]");
+    }
+  }
+
+  void close() {
+    if (f_ != nullptr) {
+      std::fprintf(f_, "\n  }\n}\n");
+      std::fclose(f_);
+      f_ = nullptr;
+    }
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool first_rt_ = true;
+  bool first_row_ = true;
+};
 
 inline void print_rule(int width) {
   for (int i = 0; i < width; ++i) {

@@ -10,6 +10,7 @@
 // and die with the from-space chunks.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 
@@ -49,7 +50,20 @@ std::size_t leaf_gc_collect(Heap* heap, StatsCell* stats,
     return n;
   };
 
-  root_iter([&](Object** slot) { *slot = forward(*slot); });
+  // Write a slot back only when forwarding moved it. A slot needs
+  // rewriting only if it held one of THIS heap's objects, and such
+  // slots are accessed by this task alone; slots holding null or
+  // foreign (e.g. global) pointers may be concurrently published into
+  // by a sibling branch under the local-heap runtime, and skipping the
+  // dead store keeps this scan read-only on them (no lost updates).
+  root_iter([&](Object** slot) {
+    Object* cur =
+        std::atomic_ref<Object*>(*slot).load(std::memory_order_relaxed);
+    Object* fwd = forward(cur);
+    if (fwd != cur) {
+      std::atomic_ref<Object*>(*slot).store(fwd, std::memory_order_relaxed);
+    }
+  });
 
   // Cheney scan: walk to-space objects in allocation order; the list
   // grows at the tail while we scan.

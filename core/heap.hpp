@@ -27,6 +27,12 @@ inline constexpr std::size_t kChunkBytes = std::size_t{1} << kChunkBytesLog2;
 inline constexpr std::size_t kChunkHeaderBytes = 64;
 inline constexpr std::size_t kChunkPayload = kChunkBytes - kChunkHeaderBytes;
 
+// Leaf heaps start on a small chunk that doubles up to kChunkBytes, so
+// a fine-grained fork tree of thousands of tiny leaves doesn't pin a
+// full 256 KiB per leaf. Small chunks are still kChunkBytes-ALIGNED
+// (so chunk_of()'s mask finds the header) but only kMinChunkBytes big.
+inline constexpr std::size_t kMinChunkBytes = std::size_t{4} << 10;
+
 struct alignas(kChunkHeaderBytes) Chunk {
   std::atomic<Heap*> heap{nullptr};  // owning heap; retargeted at join-merge
   Chunk* next = nullptr;
@@ -69,8 +75,20 @@ class ChunkPool {
   }
 
   // payload_bytes: object bytes the caller needs to fit in one chunk.
-  Chunk* acquire(std::size_t payload_bytes) {
+  // size_hint: the heap's current chunk-growth step; grown as needed to
+  // fit the payload and clamped to [kMinChunkBytes, kChunkBytes].
+  Chunk* acquire(std::size_t payload_bytes,
+                 std::size_t size_hint = kChunkBytes) {
     if (payload_bytes <= kChunkPayload) {
+      std::size_t want = size_hint < kMinChunkBytes ? kMinChunkBytes
+                         : size_hint > kChunkBytes  ? kChunkBytes
+                                                    : size_hint;
+      while (want - kChunkHeaderBytes < payload_bytes) {
+        want <<= 1;  // terminates: payload fits a kChunkBytes chunk
+      }
+      if (want < kChunkBytes) {
+        return fresh(want, false);
+      }
       {
         std::lock_guard<std::mutex> g(mu_);
         if (free_ != nullptr) {
@@ -90,7 +108,9 @@ class ChunkPool {
 
   void release(Chunk* c) {
     std::size_t bytes = c->bytes;
-    if (c->oversized) {
+    if (c->oversized || c->bytes < kChunkBytes) {
+      // Only full-size chunks are pooled; small starter chunks are
+      // cheap to realloc and pooling them would fragment the free list.
       std::free(c);
     } else {
       std::lock_guard<std::mutex> g(mu_);
@@ -117,8 +137,11 @@ class ChunkPool {
   }
 
   Chunk* fresh(std::size_t total, bool oversized) {
-    void* mem = std::aligned_alloc(kChunkBytes, total);
-    if (mem == nullptr) {
+    // posix_memalign (not aligned_alloc): small chunks have total <
+    // alignment, which aligned_alloc rejects. The alignment is what
+    // makes chunk_of()'s address mask work.
+    void* mem = nullptr;
+    if (posix_memalign(&mem, kChunkBytes, total) != 0) {
       throw std::bad_alloc();
     }
     Chunk* c = new (mem) Chunk();
@@ -284,7 +307,11 @@ class Heap {
     if (top_ != nullptr) {
       allocated_full_ += static_cast<std::size_t>(top_ - tail_->data());
     }
-    Chunk* c = pool_->acquire(size);
+    Chunk* c = pool_->acquire(size, next_chunk_bytes_);
+    if (!c->oversized) {
+      next_chunk_bytes_ =
+          c->bytes < kChunkBytes ? c->bytes << 1 : kChunkBytes;
+    }
     c->heap.store(this, std::memory_order_relaxed);
     c->next = nullptr;
     if (tail_ != nullptr) {
@@ -311,6 +338,7 @@ class Heap {
   Heap* parent_;
   std::uint32_t depth_;
   ChunkPool* pool_;
+  std::size_t next_chunk_bytes_ = kMinChunkBytes;  // doubles to kChunkBytes
   char* top_ = nullptr;
   char* end_ = nullptr;
   Chunk* head_ = nullptr;

@@ -34,11 +34,14 @@
 #include "core/roots.hpp"
 #include "core/sched.hpp"
 #include "core/stats.hpp"
+#include "runtimes/runtime_api.hpp"
 
 namespace parmem {
 
 class HierRuntime {
  public:
+  static constexpr const char* kName = "hier";
+
   struct Options {
     unsigned workers = 0;  // 0 = one per hardware thread
     PromotionMode promotion = PromotionMode::kCoarseLocking;
@@ -111,6 +114,13 @@ class HierRuntime {
       distant_write_ptr(o, idx, v);
     }
 
+    // Runtime-API publication point: under hierarchical heaps a child's
+    // objects flow to the parent by the join-time heap merge, so this
+    // is the identity (the zero-promotion story of the paper).
+    Object* publish(Object* v) {
+      return v != nullptr ? Object::chase(v) : nullptr;
+    }
+
     // Force a leaf collection now (also used at joins when
     // gc_join_threshold is set).
     void collect_now() {
@@ -131,6 +141,11 @@ class HierRuntime {
     HierRuntime& runtime() { return *rt_; }
     Heap* leaf_heap() { return heap_; }
     RootFrame** root_head_ref() { return &frames_; }
+
+    // SpawnedBranch hooks: hierarchical branch contexts need no
+    // per-thread setup (the child heap was created by fork2).
+    void branch_enter() {}
+    void branch_exit() {}
 
    private:
     friend class HierRuntime;
@@ -213,8 +228,8 @@ class HierRuntime {
   static auto fork2(Ctx& ctx, std::initializer_list<Local> roots, F&& f,
                     G&& g) {
     (void)roots;
-    using RA = BranchResult<F>;
-    using RB = BranchResult<G>;
+    using RA = rtapi::BranchResult<F, Ctx>;
+    using RB = rtapi::BranchResult<G, Ctx>;
 
     HierRuntime* rt = ctx.rt_;
     rt->stats_.forks.fetch_add(1, std::memory_order_relaxed);
@@ -225,51 +240,17 @@ class HierRuntime {
     Ctx ctx_a(rt, &heap_a);
     Ctx ctx_b(rt, &heap_b);
 
-    std::optional<RB> rb;
-    std::exception_ptr err_b;
-    std::atomic<bool> done_b{false};
-
-    struct BranchB final : WorkStealPool::Task {
-      std::remove_reference_t<G>* g = nullptr;
-      Ctx* ctx = nullptr;
-      std::optional<RB>* out = nullptr;
-      std::exception_ptr* err = nullptr;
-      std::atomic<bool>* done = nullptr;
-      void execute() override {
-        try {
-          out->emplace(invoke_branch(*g, *ctx));
-        } catch (...) {
-          *err = std::current_exception();
-        }
-        done->store(true, std::memory_order_release);
-      }
-    };
-    BranchB task_b;
-    task_b.g = &g;
-    task_b.ctx = &ctx_b;
-    task_b.out = &rb;
-    task_b.err = &err_b;
-    task_b.done = &done_b;
-    rt->pool_.push(&task_b);
+    rtapi::SpawnedBranch<Ctx, std::remove_reference_t<G>> task_b(
+        &rt->pool_, g, ctx_b);
 
     std::optional<RA> ra;
     std::exception_ptr err_a;
     try {
-      ra.emplace(invoke_branch(f, ctx_a));
+      ra.emplace(rtapi::invoke_branch(f, ctx_a));
     } catch (...) {
       err_a = std::current_exception();
     }
-
-    if (rt->pool_.cancel(&task_b)) {
-      // Not stolen: the common case. Run the right branch inline
-      // unless the left already failed.
-      if (!err_a) {
-        task_b.execute();
-      }
-    } else {
-      rt->pool_.help_until(
-          [&] { return done_b.load(std::memory_order_acquire); });
-    }
+    task_b.join(err_a != nullptr);
 
     parent->merge_from(heap_a);
     parent->merge_from(heap_b);
@@ -283,33 +264,19 @@ class HierRuntime {
     if (err_a) {
       std::rethrow_exception(err_a);
     }
-    if (err_b) {
-      std::rethrow_exception(err_b);
+    if (task_b.error()) {
+      std::rethrow_exception(task_b.error());
     }
-    return std::pair<RA, RB>(std::move(*ra), std::move(*rb));
+    return std::pair<RA, RB>(std::move(*ra), task_b.take_result());
   }
 
  private:
-  // void branches surface as std::monostate in the result pair.
-  template <class Fn>
-  using BranchResult = std::conditional_t<
-      std::is_void_v<std::invoke_result_t<Fn&, Ctx&>>, std::monostate,
-      std::decay_t<std::invoke_result_t<Fn&, Ctx&>>>;
-
-  template <class Fn>
-  static BranchResult<Fn> invoke_branch(Fn& fn, Ctx& c) {
-    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, Ctx&>>) {
-      fn(c);
-      return std::monostate{};
-    } else {
-      return fn(c);
-    }
-  }
-
   Options opts_;
   ChunkPool chunks_;
   StatsCell stats_;
   WorkStealPool pool_;
 };
+
+static_assert(RuntimeLike<HierRuntime>);
 
 }  // namespace parmem

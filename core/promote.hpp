@@ -86,7 +86,8 @@ inline PromoteResult promote_coarse_locked(Object* src, Heap* dst) {
 
 inline Object* claim_and_copy_fine(Object* m, Heap* dst,
                                    PromoteResult* res,
-                                   std::vector<Object*>* scan) {
+                                   std::vector<Object*>* scan,
+                                   StatsCell* stats) {
   std::uint32_t target_depth = dst->depth();
   for (;;) {
     m = Object::chase(m);  // spins past other claimers
@@ -94,6 +95,7 @@ inline Object* claim_and_copy_fine(Object* m, Heap* dst,
       return m;  // someone (possibly us, earlier) already lifted it enough
     }
     if (!m->claim_fwd()) {
+      stats->promo_claim_conflicts.fetch_add(1, std::memory_order_relaxed);
       continue;  // lost the race; chase the winner's forwarding pointer
     }
     Heap* owner = heap_of(m);
@@ -109,10 +111,10 @@ inline Object* claim_and_copy_fine(Object* m, Heap* dst,
   }
 }
 
-inline PromoteResult promote_fine(Object* src, Heap* dst) {
+inline PromoteResult promote_fine(Object* src, Heap* dst, StatsCell* stats) {
   PromoteResult res{nullptr};
   std::vector<Object*> scan;
-  res.master = claim_and_copy_fine(src, dst, &res, &scan);
+  res.master = claim_and_copy_fine(src, dst, &res, &scan, stats);
   for (std::size_t i = 0; i < scan.size(); ++i) {
     Object* n = scan[i];
     std::uint32_t np = n->nptr();
@@ -121,7 +123,7 @@ inline PromoteResult promote_fine(Object* src, Heap* dst) {
       if (q == nullptr) {
         continue;
       }
-      q = claim_and_copy_fine(q, dst, &res, &scan);
+      q = claim_and_copy_fine(q, dst, &res, &scan, stats);
       n->set_ptr(j, q);
     }
   }
@@ -182,7 +184,7 @@ inline void promote_and_store(Object* dst_obj, std::uint32_t idx, Object* v,
     }
   } else {
     Heap* dst_heap = heap_of(Object::chase(dst_obj));
-    res = detail::promote_fine(v, dst_heap);
+    res = detail::promote_fine(v, dst_heap, stats);
     Object::chase(dst_obj)->set_ptr(idx, res.master);
   }
   stats->promoted_objects.fetch_add(res.objects, std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <memory>
 #include <vector>
@@ -20,8 +21,17 @@ class RootFrame;
 class Local {
  public:
   Local() = default;
-  Object* get() const { return *slot_; }
-  void set(Object* p) const { *slot_ = p; }
+  // Slot accesses are relaxed atomics: under the local-heap runtime a
+  // branch on one worker publishes into a parent slot while the
+  // parent's worker may concurrently scan the same frame chain for its
+  // leaf GC. Ordering comes from the fork2 join (done-flag acquire),
+  // not from the slot itself.
+  Object* get() const {
+    return std::atomic_ref<Object*>(*slot_).load(std::memory_order_relaxed);
+  }
+  void set(Object* p) const {
+    std::atomic_ref<Object*>(*slot_).store(p, std::memory_order_relaxed);
+  }
   Object** slot() const { return slot_; }
 
  private:

@@ -61,6 +61,16 @@ class WorkStealPool {
 
   unsigned workers() const { return static_cast<unsigned>(deques_.size()); }
 
+  // Index of the calling thread within this pool (0 is the thread that
+  // entered run()). Runtimes with per-worker state (local heaps) key it
+  // off this.
+  unsigned current_index() const {
+    auto [pool, idx] = tls();
+    assert(pool == this && "caller must be a thread owned by this pool");
+    (void)pool;
+    return idx;
+  }
+
   // RAII registration of the calling thread as worker 0 for the
   // duration of a run(); nests correctly across runtimes.
   class Scope {

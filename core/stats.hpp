@@ -22,9 +22,10 @@ struct Stats {
   std::uint64_t promotions = 0;        // entangling writes that promoted
   std::uint64_t promoted_objects = 0;  // objects copied up by promotion
   std::uint64_t promoted_bytes = 0;    // bytes copied up by promotion
-  std::uint64_t gc_count = 0;          // leaf collections
-  std::uint64_t gc_bytes_copied = 0;   // live bytes evacuated by leaf GC
-  std::uint64_t gc_ns = 0;             // wall time spent in leaf GC
+  std::uint64_t promo_claim_conflicts = 0;  // lost fine-grained CAS claims
+  std::uint64_t gc_count = 0;          // collections (leaf or stop-the-world)
+  std::uint64_t gc_bytes_copied = 0;   // live bytes evacuated by GC
+  std::uint64_t gc_ns = 0;             // GC time; STW adds stopped workers
   std::uint64_t forks = 0;             // fork2 calls
 
   Stats operator-(const Stats& o) const {
@@ -32,6 +33,7 @@ struct Stats {
     d.promotions = promotions - o.promotions;
     d.promoted_objects = promoted_objects - o.promoted_objects;
     d.promoted_bytes = promoted_bytes - o.promoted_bytes;
+    d.promo_claim_conflicts = promo_claim_conflicts - o.promo_claim_conflicts;
     d.gc_count = gc_count - o.gc_count;
     d.gc_bytes_copied = gc_bytes_copied - o.gc_bytes_copied;
     d.gc_ns = gc_ns - o.gc_ns;
@@ -45,6 +47,7 @@ struct StatsCell {
   std::atomic<std::uint64_t> promotions{0};
   std::atomic<std::uint64_t> promoted_objects{0};
   std::atomic<std::uint64_t> promoted_bytes{0};
+  std::atomic<std::uint64_t> promo_claim_conflicts{0};
   std::atomic<std::uint64_t> gc_count{0};
   std::atomic<std::uint64_t> gc_bytes_copied{0};
   std::atomic<std::uint64_t> gc_ns{0};
@@ -55,6 +58,8 @@ struct StatsCell {
     s.promotions = promotions.load(std::memory_order_relaxed);
     s.promoted_objects = promoted_objects.load(std::memory_order_relaxed);
     s.promoted_bytes = promoted_bytes.load(std::memory_order_relaxed);
+    s.promo_claim_conflicts =
+        promo_claim_conflicts.load(std::memory_order_relaxed);
     s.gc_count = gc_count.load(std::memory_order_relaxed);
     s.gc_bytes_copied = gc_bytes_copied.load(std::memory_order_relaxed);
     s.gc_ns = gc_ns.load(std::memory_order_relaxed);

@@ -1,0 +1,312 @@
+// Manticore-like local heaps ("manticore" in fig10 and the promotion-
+// volume table): a two-level hierarchy with one GLOBAL heap (depth 0)
+// and one persistent LOCAL heap per worker (depth 1).
+//
+// The defining discipline -- the contrast the hierarchical runtime is
+// measured against -- is that data escaping a worker is PROMOTED
+// (deep-copied) into the global heap at the escape point:
+//
+//   * fork2 promotes the closures of its documented root Locals at
+//     every spawn (whether or not the branch is ever stolen);
+//   * publish() promotes a branch's result before it is handed to the
+//     parent, because the parent may live on another worker;
+//   * the write barrier promotes any local value stored into a
+//     non-local object.
+//
+// This keeps local heaps worker-private (they can be collected by the
+// standard leaf Cheney collector without stopping anyone), at the cost
+// of copying on the order of the input size even for pure programs --
+// exactly the paper's Section 4.4 measurement. The global heap is an
+// allocation sink: it is only reclaimed wholesale when run() returns
+// (a global collection is future work, as in most local-heap systems).
+//
+// All promotions serialize on the global heap's lock, mirroring
+// Manticore's stop-less but serialized global-heap growth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/gc_leaf.hpp"
+#include "core/heap.hpp"
+#include "core/object.hpp"
+#include "core/promote.hpp"
+#include "core/roots.hpp"
+#include "core/sched.hpp"
+#include "core/stats.hpp"
+#include "runtimes/runtime_api.hpp"
+
+namespace parmem {
+
+class LhRuntime {
+ public:
+  static constexpr const char* kName = "localheap";
+
+  struct Options {
+    unsigned workers = 0;  // 0 = one per hardware thread
+    std::size_t gc_min_budget = std::size_t{4} << 20;  // per local heap
+    double gc_growth_factor = 8.0;
+  };
+
+ private:
+  // Per-worker persistent state. All task contexts executing on a
+  // worker share its local heap and its root-frame chain (execution on
+  // one worker is strictly nested, so frames keep stack discipline).
+  struct WorkerState {
+    Heap heap;
+    RootFrame* frames = nullptr;
+    std::size_t gc_budget;
+
+    WorkerState(Heap* global, ChunkPool* pool, std::size_t budget)
+        : heap(global, 1, pool), gc_budget(budget) {}
+  };
+
+ public:
+  class Ctx {
+   public:
+    Ctx(const Ctx&) = delete;
+    Ctx& operator=(const Ctx&) = delete;
+
+    Object* alloc(std::uint32_t nptr, std::uint32_t nscalar) {
+      std::size_t size = Object::size_bytes(nptr, nscalar);
+      char* p = w_->heap.try_bump(size);
+      if (__builtin_expect(p == nullptr, 0)) {
+        return alloc_slow(nptr, nscalar);
+      }
+      Object* o = reinterpret_cast<Object*>(p);
+      o->init_header(nptr, nscalar);
+      o->zero_fields();
+      return o;
+    }
+
+    static void init_i64(Object* o, std::uint32_t i, std::int64_t v) {
+      o->set_scalar(i, v);
+    }
+    static void init_ptr(Object* o, std::uint32_t i, Object* v) {
+      o->set_ptr_relaxed(i, v);
+    }
+
+    // Promotion leaves forwarding pointers behind, so mutable accessors
+    // chase to the master copy, exactly as under hierarchical heaps.
+    static std::int64_t read_i64_imm(const Object* o, std::uint32_t i) {
+      return o->scalar(i);
+    }
+    static std::int64_t read_i64_mut(Object* o, std::uint32_t i) {
+      return Object::chase(o)->scalar(i);
+    }
+    static void write_i64(Object* o, std::uint32_t i, std::int64_t v) {
+      Object::chase(o)->set_scalar(i, v);
+    }
+    static Object* read_ptr(Object* o, std::uint32_t i) {
+      return Object::chase(o)->ptr(i);
+    }
+
+    // Pointer write barrier: stores within the worker's own local heap
+    // are free; any other store first promotes a local value to the
+    // global heap (a local object must never be reachable from outside
+    // its worker).
+    void write_ptr(Object* o, std::uint32_t idx, Object* v) {
+      o = Object::chase(o);
+      if (v != nullptr) {
+        v = Object::chase(v);
+      }
+      if (__builtin_expect(heap_of(o) == &w_->heap, 1)) {
+        o->set_ptr_relaxed(idx, v);
+        return;
+      }
+      if (v != nullptr && heap_of(v)->depth() > 0) {
+        v = rt_->promote_to_global(v);
+      }
+      o->set_ptr(idx, v);
+    }
+
+    // A branch result escapes its worker: promote its closure.
+    Object* publish(Object* v) {
+      if (v == nullptr) {
+        return nullptr;
+      }
+      v = Object::chase(v);
+      if (heap_of(v)->depth() == 0) {
+        return v;
+      }
+      return rt_->promote_to_global(v);
+    }
+
+    void collect_now() {
+      WorkerState* w = w_;
+      std::size_t live = leaf_gc_collect(&w->heap, &rt_->stats_,
+                                         [w](auto&& fn) {
+                                           for (RootFrame* f = w->frames;
+                                                f != nullptr; f = f->prev()) {
+                                             f->for_each_slot(fn);
+                                           }
+                                         });
+      auto scaled = static_cast<std::size_t>(
+          static_cast<double>(live) * rt_->opts_.gc_growth_factor);
+      w->gc_budget = scaled > rt_->opts_.gc_min_budget
+                         ? scaled
+                         : rt_->opts_.gc_min_budget;
+    }
+
+    LhRuntime& runtime() { return *rt_; }
+    Heap* leaf_heap() { return &w_->heap; }
+    RootFrame** root_head_ref() { return &w_->frames; }
+
+    // SpawnedBranch hooks: a branch allocates from whichever worker's
+    // heap actually executes it, bound here at branch start.
+    void branch_enter() { bind(); }
+    void branch_exit() {}
+
+   private:
+    friend class LhRuntime;
+
+    explicit Ctx(LhRuntime* rt) : rt_(rt) {}
+
+    // A task context runs entirely on one worker; bind() pins it to the
+    // executing worker's heap at branch start.
+    void bind() {
+      w_ = rt_->workers_[rt_->pool_.current_index()].get();
+    }
+
+    Object* alloc_slow(std::uint32_t nptr, std::uint32_t nscalar) {
+      if (w_->heap.chunk_bytes() >= w_->gc_budget) {
+        collect_now();
+      }
+      Object* o = w_->heap.bump_alloc(nptr, nscalar);
+      o->zero_fields();
+      return o;
+    }
+
+    LhRuntime* rt_;
+    WorkerState* w_ = nullptr;
+  };
+
+  LhRuntime() : LhRuntime(Options{}) {}
+  explicit LhRuntime(const Options& opts)
+      : opts_(opts),
+        global_(nullptr, 0, &chunks_),
+        pool_(opts.workers) {
+    workers_.reserve(pool_.workers());
+    for (unsigned i = 0; i < pool_.workers(); ++i) {
+      workers_.push_back(std::make_unique<WorkerState>(
+          &global_, &chunks_, opts_.gc_min_budget));
+    }
+  }
+  LhRuntime(const LhRuntime&) = delete;
+  LhRuntime& operator=(const LhRuntime&) = delete;
+
+  const Options& options() const { return opts_; }
+  unsigned workers() const { return pool_.workers(); }
+  Stats stats() const { return stats_.snapshot(); }
+  std::size_t peak_bytes() const { return chunks_.peak_bytes(); }
+  std::size_t live_bytes() const { return chunks_.live_bytes(); }
+
+  template <class F>
+  auto run(F&& f) {
+    WorkStealPool::Scope scope(&pool_);
+    Ctx ctx(this);
+    ctx.bind();
+    // Program end is the only global collection: drop every heap so
+    // back-to-back runs (bench_common::measure) don't accumulate the
+    // global allocation sink. Results must be scalars by then.
+    struct Teardown {
+      LhRuntime* rt;
+      ~Teardown() {
+        for (auto& w : rt->workers_) {
+          w->heap.release_all_chunks();
+          w->gc_budget = rt->opts_.gc_min_budget;
+        }
+        rt->global_.release_all_chunks();
+      }
+    } teardown{this};
+    return f(ctx);
+  }
+
+  template <class F, class G>
+  static auto fork2(Ctx& ctx, std::initializer_list<Local> roots, F&& f,
+                    G&& g) {
+    using RA = rtapi::BranchResult<F, Ctx>;
+    using RB = rtapi::BranchResult<G, Ctx>;
+
+    LhRuntime* rt = ctx.rt_;
+    rt->stats_.forks.fetch_add(1, std::memory_order_relaxed);
+
+    // Spawn-time promotion: the spawned computation (and, symmetrically,
+    // the continuation) may run on any worker, so everything its
+    // closure can reach escapes NOW. This is the cost fig10's manticore
+    // columns and tab_promotion_volume quantify.
+    //
+    // Write the slot only if promotion moved the value: a slot that is
+    // visible to concurrently running relatives was already promoted at
+    // the fork where the sharing began (it is global, so publish is the
+    // identity here), and skipping the dead store keeps the concurrent
+    // re-promotions in nested forks read-only on the slot.
+    for (const Local& l : roots) {
+      if (Object* p = l.get()) {
+        Object* m = ctx.publish(p);
+        if (m != p) {
+          l.set(m);
+        }
+      }
+    }
+
+    Ctx ctx_b(rt);
+    rtapi::SpawnedBranch<Ctx, std::remove_reference_t<G>> task_b(
+        &rt->pool_, g, ctx_b);
+
+    // The left branch is the continuation: it stays on this worker and
+    // shares the parent's local heap, so the parent context serves it.
+    std::optional<RA> ra;
+    std::exception_ptr err_a;
+    try {
+      ra.emplace(rtapi::invoke_branch(f, ctx));
+    } catch (...) {
+      err_a = std::current_exception();
+    }
+    task_b.join(err_a != nullptr);
+
+    // No join-time heap merge: locals stay put; anything the parent
+    // needs was published (promoted) by the branches.
+    if (err_a) {
+      std::rethrow_exception(err_a);
+    }
+    if (task_b.error()) {
+      std::rethrow_exception(task_b.error());
+    }
+    return std::pair<RA, RB>(std::move(*ra), task_b.take_result());
+  }
+
+ private:
+  friend class Ctx;
+
+  Object* promote_to_global(Object* v) {
+    std::lock_guard<std::mutex> g(global_.path_lock());
+    detail::PromoteResult res = detail::promote_coarse_locked(v, &global_);
+    if (res.objects != 0) {
+      stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+      stats_.promoted_objects.fetch_add(res.objects,
+                                        std::memory_order_relaxed);
+      stats_.promoted_bytes.fetch_add(res.bytes, std::memory_order_relaxed);
+    }
+    return res.master;
+  }
+
+  Options opts_;
+  ChunkPool chunks_;
+  StatsCell stats_;
+  Heap global_;  // depth 0: the shared promotion target
+  std::vector<std::unique_ptr<WorkerState>> workers_;  // depth-1 local heaps
+  WorkStealPool pool_;  // last member: joins threads before heaps die
+};
+
+static_assert(RuntimeLike<LhRuntime>);
+
+}  // namespace parmem

@@ -1,0 +1,179 @@
+// The runtime-abstraction surface shared by the four comparison
+// runtimes (the paper's fig10-fig13 systems):
+//
+//   SeqRuntime   (runtimes/seq_runtime.hpp)        mlton-like sequential
+//   StwRuntime   (runtimes/stw_runtime.hpp)        spoonhower-like STW
+//   LhRuntime    (runtimes/localheap_runtime.hpp)  manticore-like local heaps
+//   HierRuntime  (core/hier_runtime.hpp)           hierarchical heaps
+//
+// Every runtime RT exposes:
+//
+//   RT::kName                         short stable identifier ("seq", ...)
+//   RT::Options{workers, ...}         default-constructible; workers = 0
+//                                     means one per hardware thread
+//   RT(opts) / rt.workers()           construction + resolved worker count
+//   rt.stats() -> Stats               monotonic counter snapshot
+//   rt.peak_bytes() -> size_t         lifetime high-water chunk footprint
+//   rt.run(f) -> f(ctx)               execute f as the root task
+//   RT::fork2(ctx, {roots}, f, g)     fork-join returning {f res, g res};
+//                                     `roots` lists every parent Local the
+//                                     branches may touch (the local-heap
+//                                     runtime promotes their closures at
+//                                     spawn; the others may ignore them)
+//
+// and a Ctx with the allocation/barrier surface:
+//
+//   ctx.alloc(nptr, nscalar)          zeroed bump allocation
+//   Ctx::init_i64 / Ctx::init_ptr     initialising stores (fresh objects)
+//   Ctx::read_i64_imm                 immutable scalar read
+//   Ctx::read_i64_mut / Ctx::write_i64   mutable scalar access
+//   Ctx::read_ptr / ctx.write_ptr     pointer access (the write barrier is
+//                                     where the runtimes differ)
+//   ctx.publish(v)                    make v's closure safe to hand to the
+//                                     parent across a join: identity under
+//                                     seq/stw/hier, promotion to the global
+//                                     heap under local heaps
+//   ctx.collect_now()                 force a collection
+//   ctx.root_head_ref()               RootFrame chain head (precise roots)
+//
+// Portability contract for code written against this surface (the
+// workload kernels in bench_common/workloads.hpp obey it):
+//
+//   - A raw Object* must not be held across ctx.alloc or fork2; anything
+//     live across them goes in a RootFrame Local. (Collectors move
+//     objects: leaf GC under seq/lh/hier, any alloc-triggered STW cycle
+//     under stw.)
+//   - A branch hands heap results to its parent by ctx.publish-ing them
+//     and writing the published pointer into a parent Local as its LAST
+//     heap action (no allocations afterwards). Branch return values carry
+//     scalars only.
+//   - Shared structures both branches touch are listed in fork2's roots.
+//
+// bench_common::measure() consumes exactly this surface (stats(),
+// peak_bytes(), run()), so any RuntimeLike runtime drops into the
+// figure drivers unchanged.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <variant>
+
+#include "core/object.hpp"
+#include "core/roots.hpp"
+#include "core/sched.hpp"
+#include "core/stats.hpp"
+
+namespace parmem {
+
+namespace rtapi {
+
+// void branches surface as std::monostate in fork2's result pair.
+template <class Fn, class Ctx>
+using BranchResult = std::conditional_t<
+    std::is_void_v<std::invoke_result_t<Fn&, Ctx&>>, std::monostate,
+    std::decay_t<std::invoke_result_t<Fn&, Ctx&>>>;
+
+template <class Fn, class Ctx>
+BranchResult<Fn, Ctx> invoke_branch(Fn& fn, Ctx& c) {
+  if constexpr (std::is_void_v<std::invoke_result_t<Fn&, Ctx&>>) {
+    fn(c);
+    return std::monostate{};
+  } else {
+    return fn(c);
+  }
+}
+
+// The spawn/join half of fork2, shared by every runtime: push the
+// right branch at construction, then join() after the left branch ran
+// -- popping it back for inline execution when unstolen (the common
+// case), helping steal otherwise. Per-runtime work around a branch's
+// execution (bind to a worker heap, enter/leave the STW running set)
+// goes in Ctx::branch_enter()/branch_exit(), which run on the thread
+// that actually executes the branch.
+//
+// Stack-allocated by fork2 and joined before the frame dies, exactly
+// like the tasks core/sched.hpp documents.
+template <class Ctx, class G>
+class SpawnedBranch final : public WorkStealPool::Task {
+ public:
+  using RB = BranchResult<G, Ctx>;
+
+  SpawnedBranch(WorkStealPool* pool, G& g, Ctx& ctx)
+      : pool_(pool), g_(&g), ctx_(&ctx) {
+    pool_->push(this);
+  }
+  SpawnedBranch(const SpawnedBranch&) = delete;
+  SpawnedBranch& operator=(const SpawnedBranch&) = delete;
+
+  void execute() override {
+    ctx_->branch_enter();
+    try {
+      out_.emplace(invoke_branch(*g_, *ctx_));
+    } catch (...) {
+      err_ = std::current_exception();
+    }
+    ctx_->branch_exit();
+    done_.store(true, std::memory_order_release);
+  }
+
+  // Join after the left branch completed. `left_failed` skips inline
+  // execution of a still-unstolen branch when the left branch already
+  // threw (matching the sequential semantics of rethrowing the first
+  // error).
+  void join(bool left_failed) {
+    if (pool_->cancel(this)) {
+      if (!left_failed) {
+        execute();
+      }
+    } else {
+      pool_->help_until(
+          [this] { return done_.load(std::memory_order_acquire); });
+    }
+  }
+
+  std::exception_ptr error() const { return err_; }
+  RB&& take_result() { return std::move(*out_); }
+
+ private:
+  WorkStealPool* pool_;
+  G* g_;
+  Ctx* ctx_;
+  std::optional<RB> out_;
+  std::exception_ptr err_;
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace rtapi
+
+// Compile-time check of the non-template part of the surface (run and
+// fork2 are templates and are covered by the parity tests instead).
+template <class RT>
+concept RuntimeLike = requires(const RT& crt, typename RT::Ctx& ctx,
+                               Object* o, typename RT::Options opts) {
+  requires std::default_initializable<typename RT::Options>;
+  { opts.workers } -> std::convertible_to<unsigned>;
+  { RT::kName } -> std::convertible_to<const char*>;
+  { crt.workers() } -> std::convertible_to<unsigned>;
+  { crt.stats() } -> std::same_as<Stats>;
+  { crt.peak_bytes() } -> std::convertible_to<std::size_t>;
+  { ctx.alloc(0u, 1u) } -> std::same_as<Object*>;
+  { RT::Ctx::init_i64(o, 0u, std::int64_t{0}) };
+  { RT::Ctx::init_ptr(o, 0u, o) };
+  { RT::Ctx::read_i64_imm(o, 0u) } -> std::same_as<std::int64_t>;
+  { RT::Ctx::read_i64_mut(o, 0u) } -> std::same_as<std::int64_t>;
+  { RT::Ctx::write_i64(o, 0u, std::int64_t{0}) };
+  { RT::Ctx::read_ptr(o, 0u) } -> std::same_as<Object*>;
+  { ctx.write_ptr(o, 0u, o) };
+  { ctx.publish(o) } -> std::same_as<Object*>;
+  { ctx.collect_now() };
+  { ctx.root_head_ref() } -> std::same_as<RootFrame**>;
+  { ctx.branch_enter() };  // rtapi::SpawnedBranch hooks (internal)
+  { ctx.branch_exit() };
+};
+
+}  // namespace parmem

@@ -1,0 +1,163 @@
+// Sequential baseline ("mlton" in fig10-fig13): one bump heap, zero-
+// cost barriers, and a Cheney collector that runs with the whole world
+// (one task) trivially stopped.
+//
+// Because there is never a second task, there is no promotion and no
+// forwarding to chase: every barrier row of fig08 collapses to a plain
+// load or store. This is the Ts / Ms denominator of the paper's
+// overhead, speedup, and memory-inflation columns.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+
+#include "core/gc_leaf.hpp"
+#include "core/heap.hpp"
+#include "core/object.hpp"
+#include "core/roots.hpp"
+#include "core/stats.hpp"
+#include "runtimes/runtime_api.hpp"
+
+namespace parmem {
+
+class SeqRuntime {
+ public:
+  static constexpr const char* kName = "seq";
+
+  struct Options {
+    unsigned workers = 1;  // accepted for surface parity; always runs on 1
+    std::size_t gc_min_budget = std::size_t{4} << 20;
+    double gc_growth_factor = 8.0;
+  };
+
+  class Ctx {
+   public:
+    Ctx(const Ctx&) = delete;
+    Ctx& operator=(const Ctx&) = delete;
+
+    Object* alloc(std::uint32_t nptr, std::uint32_t nscalar) {
+      std::size_t size = Object::size_bytes(nptr, nscalar);
+      char* p = heap_->try_bump(size);
+      if (__builtin_expect(p == nullptr, 0)) {
+        return alloc_slow(nptr, nscalar);
+      }
+      Object* o = reinterpret_cast<Object*>(p);
+      o->init_header(nptr, nscalar);
+      o->zero_fields();
+      return o;
+    }
+
+    static void init_i64(Object* o, std::uint32_t i, std::int64_t v) {
+      o->set_scalar(i, v);
+    }
+    static void init_ptr(Object* o, std::uint32_t i, Object* v) {
+      o->set_ptr_relaxed(i, v);
+    }
+
+    // No promotion and no concurrent mutator: every access is a plain
+    // load/store. (GC forwarding pointers exist only inside a
+    // collection; from-space is freed before the mutator resumes.)
+    static std::int64_t read_i64_imm(const Object* o, std::uint32_t i) {
+      return o->scalar(i);
+    }
+    static std::int64_t read_i64_mut(Object* o, std::uint32_t i) {
+      return o->scalar(i);
+    }
+    static void write_i64(Object* o, std::uint32_t i, std::int64_t v) {
+      o->set_scalar(i, v);
+    }
+    static Object* read_ptr(Object* o, std::uint32_t i) {
+      return o->ptrs()[i];
+    }
+    void write_ptr(Object* o, std::uint32_t idx, Object* v) {
+      o->set_ptr_relaxed(idx, v);
+    }
+
+    Object* publish(Object* v) { return v; }
+
+    void collect_now() {
+      std::size_t live = leaf_gc_collect(heap_, &rt_->stats_,
+                                         [this](auto&& fn) {
+                                           for (RootFrame* f = frames_;
+                                                f != nullptr; f = f->prev()) {
+                                             f->for_each_slot(fn);
+                                           }
+                                         });
+      auto scaled = static_cast<std::size_t>(
+          static_cast<double>(live) * rt_->opts_.gc_growth_factor);
+      gc_budget_ = scaled > rt_->opts_.gc_min_budget
+                       ? scaled
+                       : rt_->opts_.gc_min_budget;
+    }
+
+    SeqRuntime& runtime() { return *rt_; }
+    Heap* leaf_heap() { return heap_; }
+    RootFrame** root_head_ref() { return &frames_; }
+
+    // SpawnedBranch hooks (unused: sequential fork2 never spawns).
+    void branch_enter() {}
+    void branch_exit() {}
+
+   private:
+    friend class SeqRuntime;
+
+    Ctx(SeqRuntime* rt, Heap* heap)
+        : rt_(rt), heap_(heap), gc_budget_(rt->opts_.gc_min_budget) {}
+
+    Object* alloc_slow(std::uint32_t nptr, std::uint32_t nscalar) {
+      if (heap_->chunk_bytes() >= gc_budget_) {
+        collect_now();
+      }
+      Object* o = heap_->bump_alloc(nptr, nscalar);
+      o->zero_fields();
+      return o;
+    }
+
+    SeqRuntime* rt_;
+    Heap* heap_;
+    std::size_t gc_budget_;
+    RootFrame* frames_ = nullptr;
+  };
+
+  SeqRuntime() : SeqRuntime(Options{}) {}
+  explicit SeqRuntime(const Options& opts) : opts_(opts) {}
+  SeqRuntime(const SeqRuntime&) = delete;
+  SeqRuntime& operator=(const SeqRuntime&) = delete;
+
+  const Options& options() const { return opts_; }
+  unsigned workers() const { return 1; }
+  Stats stats() const { return stats_.snapshot(); }
+  std::size_t peak_bytes() const { return chunks_.peak_bytes(); }
+  std::size_t live_bytes() const { return chunks_.live_bytes(); }
+
+  template <class F>
+  auto run(F&& f) {
+    Heap root(nullptr, 0, &chunks_);
+    Ctx ctx(this, &root);
+    return f(ctx);
+  }
+
+  // fork2 degenerates to "run f, then g, on the same task" -- the
+  // paper's sequential elision.
+  template <class F, class G>
+  static auto fork2(Ctx& ctx, std::initializer_list<Local> roots, F&& f,
+                    G&& g) {
+    (void)roots;
+    ctx.rt_->stats_.forks.fetch_add(1, std::memory_order_relaxed);
+    using RA = rtapi::BranchResult<F, Ctx>;
+    using RB = rtapi::BranchResult<G, Ctx>;
+    RA ra = rtapi::invoke_branch(f, ctx);
+    RB rb = rtapi::invoke_branch(g, ctx);
+    return std::pair<RA, RB>(std::move(ra), std::move(rb));
+  }
+
+ private:
+  Options opts_;
+  ChunkPool chunks_;
+  StatsCell stats_;
+};
+
+static_assert(RuntimeLike<SeqRuntime>);
+
+}  // namespace parmem

@@ -1,0 +1,330 @@
+// Spoonhower-style parallel baseline ("mlton-spoonhower" in
+// fig10-fig13): every task bump-allocates into its own buffer of one
+// logically shared flat heap, there is no promotion and no read/write
+// barrier, and collection is STOP-THE-WORLD:
+//
+//   the task that trips the shared budget raises a GC request, waits
+//   for every other RUNNING task to park at a safepoint (their alloc
+//   slow path -- tasks between alloc and join are deactivated and need
+//   not park), merges all allocation buffers into one heap, and runs
+//   the Cheney collector from core/gc_leaf.hpp over the union of every
+//   task's root frames. The pause bills gc_ns for ALL stopped workers,
+//   matching the paper's "GC percentage of processor time" columns.
+//
+// The fast paths are as cheap as the sequential runtime's (that is the
+// point of this baseline); the cost shows up as whole-machine pauses
+// that grow with the worker count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/gc_leaf.hpp"
+#include "core/heap.hpp"
+#include "core/object.hpp"
+#include "core/roots.hpp"
+#include "core/sched.hpp"
+#include "core/stats.hpp"
+#include "runtimes/runtime_api.hpp"
+
+namespace parmem {
+
+class StwRuntime {
+ public:
+  static constexpr const char* kName = "stw";
+
+  struct Options {
+    unsigned workers = 0;  // 0 = one per hardware thread
+    std::size_t gc_min_budget = std::size_t{32} << 20;  // shared-heap bytes
+    double gc_growth_factor = 8.0;
+  };
+
+  class Ctx {
+   public:
+    Ctx(const Ctx&) = delete;
+    Ctx& operator=(const Ctx&) = delete;
+
+    Object* alloc(std::uint32_t nptr, std::uint32_t nscalar) {
+      std::size_t size = Object::size_bytes(nptr, nscalar);
+      char* p = heap_.try_bump(size);
+      if (__builtin_expect(p == nullptr, 0)) {
+        return alloc_slow(nptr, nscalar);
+      }
+      Object* o = reinterpret_cast<Object*>(p);
+      o->init_header(nptr, nscalar);
+      o->zero_fields();
+      return o;
+    }
+
+    static void init_i64(Object* o, std::uint32_t i, std::int64_t v) {
+      o->set_scalar(i, v);
+    }
+    static void init_ptr(Object* o, std::uint32_t i, Object* v) {
+      o->set_ptr_relaxed(i, v);
+    }
+
+    // Flat shared heap, mutators stopped during collection: no
+    // forwarding can be observed by running code, so every barrier is a
+    // plain access -- identical costs to the sequential baseline.
+    static std::int64_t read_i64_imm(const Object* o, std::uint32_t i) {
+      return o->scalar(i);
+    }
+    static std::int64_t read_i64_mut(Object* o, std::uint32_t i) {
+      return o->scalar(i);
+    }
+    static void write_i64(Object* o, std::uint32_t i, std::int64_t v) {
+      o->set_scalar(i, v);
+    }
+    static Object* read_ptr(Object* o, std::uint32_t i) {
+      return o->ptr(i);
+    }
+    void write_ptr(Object* o, std::uint32_t idx, Object* v) {
+      o->set_ptr(idx, v);
+    }
+
+    Object* publish(Object* v) { return v; }
+
+    void collect_now() { rt_->collect(this, /*force=*/true); }
+
+    StwRuntime& runtime() { return *rt_; }
+    RootFrame** root_head_ref() { return &frames_; }
+
+    // SpawnedBranch hooks: a branch joins the running set for exactly
+    // the span of its execution (entry blocks while a collection is
+    // pending; exit wakes a collector waiting on the running count).
+    void branch_enter() { rt_->activate(this); }
+    void branch_exit() { rt_->deactivate(this); }
+
+   private:
+    friend class StwRuntime;
+
+    explicit Ctx(StwRuntime* rt)
+        : rt_(rt), heap_(nullptr, 0, &rt->chunks_) {
+      rt_->register_ctx(this);
+    }
+    ~Ctx() { rt_->deregister_ctx(this); }
+
+    Object* alloc_slow(std::uint32_t nptr, std::uint32_t nscalar) {
+      rt_->safepoint(this);
+      if (rt_->chunks_.live_bytes() >=
+          rt_->gc_budget_.load(std::memory_order_relaxed)) {
+        rt_->collect(this, /*force=*/false);
+      }
+      Object* o = heap_.bump_alloc(nptr, nscalar);
+      o->zero_fields();
+      return o;
+    }
+
+    StwRuntime* rt_;
+    Heap heap_;  // this task's allocation buffer of the shared heap
+    RootFrame* frames_ = nullptr;
+    bool active_ = false;  // guarded by rt_->mu_
+  };
+
+  StwRuntime() : StwRuntime(Options{}) {}
+  explicit StwRuntime(const Options& opts)
+      : opts_(opts), gc_budget_(opts.gc_min_budget), pool_(opts.workers) {}
+  StwRuntime(const StwRuntime&) = delete;
+  StwRuntime& operator=(const StwRuntime&) = delete;
+
+  const Options& options() const { return opts_; }
+  unsigned workers() const { return pool_.workers(); }
+  Stats stats() const { return stats_.snapshot(); }
+  std::size_t peak_bytes() const { return chunks_.peak_bytes(); }
+  std::size_t live_bytes() const { return chunks_.live_bytes(); }
+
+  template <class F>
+  auto run(F&& f) {
+    WorkStealPool::Scope scope(&pool_);
+    Ctx ctx(this);
+    ActiveScope act(this, &ctx);
+    return f(ctx);
+  }
+
+  template <class F, class G>
+  static auto fork2(Ctx& ctx, std::initializer_list<Local> roots, F&& f,
+                    G&& g) {
+    (void)roots;
+    using RA = rtapi::BranchResult<F, Ctx>;
+    using RB = rtapi::BranchResult<G, Ctx>;
+
+    StwRuntime* rt = ctx.rt_;
+    rt->stats_.forks.fetch_add(1, std::memory_order_relaxed);
+
+    // The parent leaves the running set FIRST: a pending collection
+    // must never wait on a task that is blocked in fork2 rather than
+    // parked at a safepoint. Its frames stay registered (and scanned)
+    // through its Ctx for the whole join.
+    rt->deactivate(&ctx);
+    Ctx ctx_a(rt);
+    Ctx ctx_b(rt);
+
+    rtapi::SpawnedBranch<Ctx, std::remove_reference_t<G>> task_b(
+        &rt->pool_, g, ctx_b);
+
+    std::optional<RA> ra;
+    std::exception_ptr err_a;
+    ctx_a.branch_enter();
+    try {
+      ra.emplace(rtapi::invoke_branch(f, ctx_a));
+    } catch (...) {
+      err_a = std::current_exception();
+    }
+    ctx_a.branch_exit();
+    task_b.join(err_a != nullptr);
+
+    // Reactivating blocks while a collection is pending, so once we are
+    // back the merges below cannot race it: a new collection cannot
+    // reach the copying phase until this task parks or deactivates.
+    rt->activate(&ctx);
+    ctx.heap_.merge_from(ctx_a.heap_);
+    ctx.heap_.merge_from(ctx_b.heap_);
+
+    if (err_a) {
+      std::rethrow_exception(err_a);
+    }
+    if (task_b.error()) {
+      std::rethrow_exception(task_b.error());
+    }
+    return std::pair<RA, RB>(std::move(*ra), task_b.take_result());
+  }
+
+ private:
+  struct ActiveScope {
+    StwRuntime* rt;
+    Ctx* c;
+    ActiveScope(StwRuntime* r, Ctx* ctx) : rt(r), c(ctx) { rt->activate(c); }
+    ~ActiveScope() { rt->deactivate(c); }
+    ActiveScope(const ActiveScope&) = delete;
+    ActiveScope& operator=(const ActiveScope&) = delete;
+  };
+
+  void register_ctx(Ctx* c) {
+    std::lock_guard<std::mutex> g(mu_);
+    ctxs_.push_back(c);
+  }
+  void deregister_ctx(Ctx* c) {
+    std::lock_guard<std::mutex> g(mu_);
+    for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+      if (ctxs_[i] == c) {
+        ctxs_[i] = ctxs_.back();
+        ctxs_.pop_back();
+        break;
+      }
+    }
+  }
+
+  void activate(Ctx* c) {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return !gc_pending_; });
+    c->active_ = true;
+    ++running_;
+  }
+  void deactivate(Ctx* c) {
+    std::lock_guard<std::mutex> g(mu_);
+    c->active_ = false;
+    --running_;
+    pause_cv_.notify_all();  // a collector may be waiting on the count
+  }
+
+  // Cheap polling check on the alloc slow path.
+  void safepoint(Ctx*) {
+    if (__builtin_expect(
+            gc_flag_.load(std::memory_order_acquire), 0)) {
+      park();
+    }
+  }
+  void park() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (gc_pending_) {
+      ++paused_;
+      pause_cv_.notify_all();
+      done_cv_.wait(lk, [&] { return !gc_pending_; });
+      --paused_;
+    }
+  }
+
+  void collect(Ctx* me, bool force) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (gc_pending_) {
+      // Someone else is collecting: park here and let them; our alloc
+      // retries against the (now mostly empty) heap afterwards.
+      ++paused_;
+      pause_cv_.notify_all();
+      done_cv_.wait(lk, [&] { return !gc_pending_; });
+      --paused_;
+      return;
+    }
+    if (!force &&
+        chunks_.live_bytes() < gc_budget_.load(std::memory_order_relaxed)) {
+      return;  // lost a race with a finished collection; budget is fine
+    }
+    gc_pending_ = true;
+    gc_flag_.store(true, std::memory_order_release);
+    pause_cv_.wait(lk, [&] { return paused_ == running_ - 1; });
+
+    // The world is stopped. Fold every task's allocation buffer into
+    // ours so the flat heap really is one heap, then reuse the Cheney
+    // collector with the union of all root frames.
+    auto t0 = std::chrono::steady_clock::now();
+    for (Ctx* c : ctxs_) {
+      if (c != me) {
+        me->heap_.merge_from(c->heap_);
+      }
+    }
+    std::size_t live =
+        leaf_gc_collect(&me->heap_, &stats_, [&](auto&& fn) {
+          for (Ctx* c : ctxs_) {
+            for (RootFrame* f = c->frames_; f != nullptr; f = f->prev()) {
+              f->for_each_slot(fn);
+            }
+          }
+        });
+    auto t1 = std::chrono::steady_clock::now();
+    auto wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    // leaf_gc_collect billed one worker's wall time; the pause also
+    // stalled every other worker.
+    stats_.gc_ns.fetch_add(wall * (pool_.workers() - 1),
+                           std::memory_order_relaxed);
+
+    auto scaled = static_cast<std::size_t>(static_cast<double>(live) *
+                                           opts_.gc_growth_factor);
+    gc_budget_.store(
+        scaled > opts_.gc_min_budget ? scaled : opts_.gc_min_budget,
+        std::memory_order_relaxed);
+
+    gc_pending_ = false;
+    gc_flag_.store(false, std::memory_order_release);
+    done_cv_.notify_all();
+  }
+
+  Options opts_;
+  ChunkPool chunks_;
+  StatsCell stats_;
+  std::atomic<std::size_t> gc_budget_;
+
+  std::mutex mu_;
+  std::condition_variable pause_cv_;  // parked/left the running set
+  std::condition_variable done_cv_;   // collection finished
+  std::vector<Ctx*> ctxs_;            // every live task context
+  unsigned running_ = 0;
+  unsigned paused_ = 0;
+  bool gc_pending_ = false;
+  std::atomic<bool> gc_flag_{false};  // lock-free mirror of gc_pending_
+
+  WorkStealPool pool_;
+};
+
+static_assert(RuntimeLike<StwRuntime>);
+
+}  // namespace parmem

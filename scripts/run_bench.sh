@@ -1,35 +1,55 @@
 #!/usr/bin/env bash
 # Build (Release) and run the perf baseline:
-#   micro_ops      -> BENCH_micro.json   (google-benchmark JSON, the
-#                                         baseline later perf PRs diff)
-#   fig08_op_costs -> BENCH_fig08.txt    (the paper's Figure 8 matrix)
+#   micro_ops      -> BENCH_micro.json     (google-benchmark JSON, the
+#                                           baseline later perf PRs diff)
+#   fig08_op_costs -> BENCH_fig08.txt      (the paper's Figure 8 matrix)
+#   fig10_pure     -> BENCH_runtimes.json  (per-runtime sections: seq /
+#                                           stw / localheap / hier)
 #
-# Usage: scripts/run_bench.sh [--quick]
-#   --quick   smoke mode: short min-time per benchmark, for CI.
+# Usage: scripts/run_bench.sh [--quick] [--bench=FILTER]
+#   --quick          smoke mode: short min-time / tiny sizes, for CI.
+#   --bench=FILTER   run only matching benchmarks. For micro_ops the
+#                    filter is a google-benchmark regex; for fig10 it is
+#                    a comma-separated kernel list (fib,map,...).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 
 QUICK=0
+FILTER=""
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
+    --bench=*) FILTER="${arg#--bench=}" ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" -j"$(nproc)" --target micro_ops fig08_op_costs >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" \
+  --target micro_ops fig08_op_costs fig10_pure >/dev/null
+
+# A filtered run is a subset: never let it overwrite the committed
+# baselines that later perf PRs (and CI's asserts) diff against.
+OUT_DIR="$ROOT"
+if [ -n "$FILTER" ]; then
+  OUT_DIR="$BUILD"
+  echo "note: --bench filter active; writing results under $OUT_DIR" \
+       "(committed baselines untouched)"
+fi
 
 BM_ARGS=(
-  "--benchmark_out=$ROOT/BENCH_micro.json"
+  "--benchmark_out=$OUT_DIR/BENCH_micro.json"
   "--benchmark_out_format=json"
 )
 if [ "$QUICK" -eq 1 ]; then
   BM_ARGS+=("--benchmark_min_time=0.05")
 else
   BM_ARGS+=("--benchmark_min_time=0.5")
+fi
+if [ -n "$FILTER" ]; then
+  BM_ARGS+=("--benchmark_filter=$FILTER")
 fi
 
 "$BUILD/micro_ops" "${BM_ARGS[@]}"
@@ -39,7 +59,22 @@ if [ "$QUICK" -eq 1 ]; then
   FIG08_ARGS+=("--quick")
 fi
 "$BUILD/fig08_op_costs" "${FIG08_ARGS[@]+"${FIG08_ARGS[@]}"}" \
-  | tee "$ROOT/BENCH_fig08.txt"
+  | tee "$OUT_DIR/BENCH_fig08.txt"
+
+# Per-runtime comparison baseline: one JSON section per runtime. Keep
+# the sweep small even in full mode -- it covers four runtimes x two
+# worker counts per kernel.
+FIG10_ARGS=("--json=$OUT_DIR/BENCH_runtimes.json" "--procs=2")
+if [ "$QUICK" -eq 1 ]; then
+  FIG10_ARGS+=("--quick")
+else
+  FIG10_ARGS+=("--scale=0.2" "--runs=3")
+fi
+if [ -n "$FILTER" ]; then
+  FIG10_ARGS+=("--bench=$FILTER")
+fi
+"$BUILD/fig10_pure" "${FIG10_ARGS[@]}"
 
 echo
-echo "baseline written: $ROOT/BENCH_micro.json, $ROOT/BENCH_fig08.txt"
+echo "results written: $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_fig08.txt," \
+     "$OUT_DIR/BENCH_runtimes.json"
