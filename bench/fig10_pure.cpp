@@ -8,9 +8,6 @@
 // Run with --procs=P --runs=R --scale=F --bench=a,b --json=PATH --quick.
 // --json records one section per runtime (scripts/run_bench.sh uses it
 // for the BENCH_runtimes.json baseline).
-//
-// strassen and raytracer are not in the kernel library yet (see
-// ROADMAP); the paper's remaining eight pure benchmarks are.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -49,6 +46,8 @@ const PureRow kRows[] = {
     PURE_ROW("msort-pure", bench_msort_pure, false),
     PURE_ROW("dmm", bench_dmm, true),
     PURE_ROW("smvm", bench_smvm, true),
+    PURE_ROW("strassen", bench_strassen, true),
+    PURE_ROW("raytracer", bench_raytracer, true),
 };
 
 struct RowResult {

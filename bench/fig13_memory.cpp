@@ -34,7 +34,12 @@ const Row kRows[] = {
     ROW("msort-pure", bench_msort_pure),
     ROW("dmm", bench_dmm),
     ROW("smvm", bench_smvm),
+    ROW("strassen", bench_strassen),
+    ROW("raytracer", bench_raytracer),
     ROW("msort", bench_msort),
+    ROW("dedup", bench_dedup),
+    ROW("tourney", bench_tourney),
+    ROW("reachability", bench_reachability),
     ROW("usp", bench_usp),
     ROW("usp-tree", bench_usp_tree),
     ROW("multi-usp-tree", bench_multi_usp_tree),

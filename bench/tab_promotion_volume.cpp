@@ -2,11 +2,14 @@
 // map benchmark with 72 cores, manticore promoted nearly 340MB of data
 // in total, whereas mlton-parmem performed no promotions."
 //
-// This bench runs `map` (and `tabulate`) on the Manticore-like
-// local-heap runtime and on hierarchical heaps at P workers and reports
-// bytes promoted by each. The expected shape: localheap promotes on the
-// order of the input size (closure/result promotion at spawns and
-// steals); hier promotes exactly zero.
+// This bench runs the pure kernels AND the imperative kernels on the
+// Manticore-like local-heap runtime and on hierarchical heaps at P
+// workers and reports bytes promoted by each, one row per kernel. The
+// expected shape: localheap promotes on the order of the input size
+// (closure/result promotion at spawns, publishes, and escaping writes);
+// hier promotes exactly zero on every kernel here -- including the
+// imperative dedup/tourney/reachability trio, whose escaping writes are
+// scalar stores that never entangle the hierarchy.
 #include <cstdio>
 
 #include "bench_common/harness.hpp"
@@ -21,32 +24,42 @@ int main(int argc, char** argv) {
   const double input_mb = static_cast<double>(opt.sizes.seq_n) * 8.0 /
                           (1024.0 * 1024.0);
 
-  std::printf("Promotion volume on pure benchmarks (P=%u, input %.1f MB "
+  std::printf("Promotion volume per kernel (P=%u, seq-kernel input %.1f MB "
               "of elements)\n\n",
               procs, input_mb);
-  std::printf("%-10s | %-10s | %12s %12s %10s\n", "benchmark", "system",
+  std::printf("%-12s | %-10s | %12s %12s %10s\n", "benchmark", "system",
               "promotions", "promoMB", "time(s)");
-  print_rule(62);
+  print_rule(64);
 
   struct Item {
     const char* name;
+    bool pure;
     KernelOut (*lh)(parmem::LhRuntime&, const Sizes&);
     KernelOut (*hier)(parmem::HierRuntime&, const Sizes&);
   };
+#define TAB_ITEM(nm, fn, is_pure) \
+  Item { nm, is_pure, &fn<parmem::LhRuntime>, &fn<parmem::HierRuntime> }
   const Item items[] = {
-      {"tabulate", &bench_tabulate<parmem::LhRuntime>,
-       &bench_tabulate<parmem::HierRuntime>},
-      {"map", &bench_map<parmem::LhRuntime>,
-       &bench_map<parmem::HierRuntime>},
-      {"reduce", &bench_reduce<parmem::LhRuntime>,
-       &bench_reduce<parmem::HierRuntime>},
-      {"filter", &bench_filter<parmem::LhRuntime>,
-       &bench_filter<parmem::HierRuntime>},
+      TAB_ITEM("tabulate", bench_tabulate, true),
+      TAB_ITEM("map", bench_map, true),
+      TAB_ITEM("reduce", bench_reduce, true),
+      TAB_ITEM("filter", bench_filter, true),
+      TAB_ITEM("strassen", bench_strassen, true),
+      TAB_ITEM("raytracer", bench_raytracer, true),
+      TAB_ITEM("dedup", bench_dedup, false),
+      TAB_ITEM("tourney", bench_tourney, false),
+      TAB_ITEM("reachability", bench_reachability, false),
   };
+#undef TAB_ITEM
 
+  bool imp_header_printed = false;
   for (const Item& item : items) {
     if (!opt.selected(item.name)) {
       continue;
+    }
+    if (!item.pure && !imp_header_printed) {
+      std::printf("--- imperative kernels (escaping writes) ---\n");
+      imp_header_printed = true;
     }
     {
       parmem::LhRuntime::Options ro;
@@ -57,7 +70,7 @@ int main(int argc, char** argv) {
                   [&item](parmem::LhRuntime& r, const Sizes& z) {
                     return item.lh(r, z);
                   });
-      std::printf("%-10s | %-10s | %12llu %12.2f %10.3f\n", item.name,
+      std::printf("%-12s | %-10s | %12llu %12.2f %10.3f\n", item.name,
                   "localheap",
                   static_cast<unsigned long long>(m.stats.promotions),
                   static_cast<double>(m.stats.promoted_bytes) /
@@ -73,7 +86,7 @@ int main(int argc, char** argv) {
                   [&item](parmem::HierRuntime& r, const Sizes& z) {
                     return item.hier(r, z);
                   });
-      std::printf("%-10s | %-10s | %12llu %12.2f %10.3f\n", item.name,
+      std::printf("%-12s | %-10s | %12llu %12.2f %10.3f\n", item.name,
                   "hier",
                   static_cast<unsigned long long>(m.stats.promotions),
                   static_cast<double>(m.stats.promoted_bytes) /
@@ -84,7 +97,10 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\nexpected shape (Section 4.4): the local-heap (Manticore-like) "
-      "runtime promotes data on the order of the input size even for "
-      "pure programs; hierarchical heaps promote nothing\n");
+      "runtime promotes data on the order of the input size -- for pure "
+      "programs at spawns/publishes, for the imperative kernels at the "
+      "spawn-time promotion of the shared arrays every escaping write "
+      "targets; hierarchical heaps promote nothing on any row here "
+      "(scalar mutation never entangles)\n");
   return 0;
 }

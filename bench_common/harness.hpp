@@ -50,10 +50,26 @@ struct Sizes {
   std::int64_t dmm_n = 192;           // dense matrix dimension
   std::int64_t smvm_rows = std::int64_t{1} << 19;  // sparse rows (8 nnz each)
   std::int64_t usp_side = 96;         // BFS grid is usp_side x usp_side
+  std::int64_t strassen_n = 128;      // recursive matmul dim (power of two)
+  std::int64_t strassen_cutoff = 32;  // strassen base-case dimension
+  std::int64_t ray_w = 640;           // raytracer image width
+  std::int64_t ray_h = 480;           // raytracer image height
+  std::int64_t dedup_n = std::int64_t{1} << 20;   // dedup input elements
+  std::int64_t tourney_n = std::int64_t{1} << 22; // tournament leaves (pow2)
+  std::int64_t reach_n = std::int64_t{1} << 20;   // reachability vertices
 
   std::int64_t scaled(std::int64_t base) const {
     auto v = static_cast<std::int64_t>(static_cast<double>(base) * scale);
     return v > 1 ? v : 1;
+  }
+
+  // Largest power of two <= bound, never below `floor` (itself a pow2).
+  static std::int64_t floor_pow2(std::int64_t bound, std::int64_t floor) {
+    std::int64_t v = floor;
+    while (v * 2 <= bound) {
+      v *= 2;
+    }
+    return v;
   }
 
   // Re-derive every per-kernel size from `scale`, keeping each kernel's
@@ -78,6 +94,15 @@ struct Sizes {
     dmm_n = dim(192, 1.0 / 3.0, 8);     // n^3 work
     smvm_rows = scaled(std::int64_t{1} << 19);
     usp_side = dim(96, 1.0 / 3.0, 8);   // ~side^3 work (side^2 x diameter)
+    // strassen's split needs a power-of-two dimension: scale by n^3 work,
+    // then round down to the nearest power of two (>= 16).
+    strassen_n = floor_pow2(dim(128, 1.0 / 3.0, 16), 16);
+    ray_w = dim(640, 0.5, 16);          // pixel count ~ scale
+    ray_h = dim(480, 0.5, 12);
+    dedup_n = scaled(std::int64_t{1} << 20);
+    // tourney's tree is a complete binary tree: power-of-two leaves.
+    tourney_n = floor_pow2(scaled(std::int64_t{1} << 22), 64);
+    reach_n = scaled(std::int64_t{1} << 20);
   }
 };
 

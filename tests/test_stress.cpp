@@ -1,0 +1,166 @@
+// Seeded randomized stress: generate random fork-tree shapes (depth,
+// leaf grain, fraction of escaping pointer writes) from a fixed-seed
+// RNG and assert that every runtime agrees with the sequential
+// baseline, and that purely local configurations (no escaping writes)
+// promote nothing at all under hierarchical heaps.
+//
+// The shape is a pure function of (seed, tree path), never of the
+// schedule: each node hashes its path to decide leaf-vs-fork, each leaf
+// hashes it to size its allocation chain and to decide whether it
+// performs an escaping write. Escaping writes target a per-leaf slot
+// (indexed by the unique path) of a root-allocated sink object, so they
+// are race-free and the final sink contents are deterministic.
+#include <cstdint>
+
+#include "bench_common/workloads.hpp"
+#include "core/hier_runtime.hpp"
+#include "runtimes/localheap_runtime.hpp"
+#include "runtimes/seq_runtime.hpp"
+#include "runtimes/stw_runtime.hpp"
+#include "tests/test_util.hpp"
+
+namespace {
+
+using namespace parmem;
+using parmem::bench::wl::mix64;
+
+struct StressCfg {
+  std::uint64_t seed = 0;
+  int depth = 6;        // maximum fork depth
+  int grain = 12;       // maximum allocations per leaf
+  int escape_pct = 0;   // % of leaves performing an escaping write
+};
+
+template <class RT>
+std::int64_t stress_leaf(typename RT::Ctx& c, const Local& sink,
+                         const StressCfg& cfg, std::uint64_t path) {
+  using Ctx = typename RT::Ctx;
+  const std::uint64_t r = mix64(cfg.seed ^ (path * 0x9E3779B97F4A7C15ull));
+  const int nalloc =
+      1 + static_cast<int>(r % static_cast<std::uint64_t>(cfg.grain));
+  RootFrame fr(c);
+  Local chain = fr.local(nullptr);
+  for (int i = 0; i < nalloc; ++i) {
+    Object* o = c.alloc(1, 1);
+    Ctx::init_i64(o, 0,
+                  static_cast<std::int64_t>(
+                      mix64(r + static_cast<std::uint64_t>(i)) & 0xFFFF));
+    Ctx::init_ptr(o, 0, chain.get());
+    chain.set(o);
+  }
+  std::int64_t sum = 0;
+  for (Object* o = chain.get(); o != nullptr; o = Ctx::read_ptr(o, 0)) {
+    sum += Ctx::read_i64_imm(o, 0);  // walk allocates nothing
+  }
+  if (static_cast<int>((r >> 32) % 100) < cfg.escape_pct) {
+    Object* node = c.alloc(0, 1);
+    Ctx::init_i64(node, 0, static_cast<std::int64_t>(r & 0x7FFFFFFF));
+    // The escaping write: a leaf-task value stored into the root task's
+    // sink. Entangles (and promotes) under hier; promotes the node to
+    // the global heap under local heaps; plain store under seq/stw.
+    c.write_ptr(sink.get(), static_cast<std::uint32_t>(path), node);
+  }
+  return sum;
+}
+
+template <class RT>
+std::int64_t stress_rec(typename RT::Ctx& c, const Local& sink,
+                        const StressCfg& cfg, std::uint64_t path, int depth) {
+  const std::uint64_t r = mix64(cfg.seed ^ path ^ 0xC0FFEEull);
+  // The root level always forks (so escaping configurations exercise
+  // child-task writes); below it, a quarter of the nodes cut off early.
+  if (depth == 0 || (depth < cfg.depth && r % 4 == 0)) {
+    return stress_leaf<RT>(c, sink, cfg, path);
+  }
+  auto [a, b] = RT::fork2(
+      c, {sink},
+      [&](typename RT::Ctx& cc) {
+        return stress_rec<RT>(cc, sink, cfg, path * 2, depth - 1);
+      },
+      [&](typename RT::Ctx& cc) {
+        return stress_rec<RT>(cc, sink, cfg, path * 2 + 1, depth - 1);
+      });
+  return a * 3 + b;
+}
+
+template <class RT>
+std::int64_t stress_run(RT& rt, const StressCfg& cfg) {
+  return rt.run([&](typename RT::Ctx& c) {
+    using Ctx = typename RT::Ctx;
+    const auto nslots = std::uint32_t{1} << (cfg.depth + 1);
+    RootFrame fr(c);
+    Local sink = fr.local(c.alloc(nslots, 0));
+    std::int64_t sum = stress_rec<RT>(c, sink, cfg, 1, cfg.depth);
+    Object* s = sink.get();  // final walk allocates nothing
+    for (std::uint32_t i = 0; i < nslots; ++i) {
+      if (Object* nd = Ctx::read_ptr(s, i)) {
+        sum += Ctx::read_i64_imm(nd, 0) * (i % 31 + 1);
+      }
+    }
+    return sum;
+  });
+}
+
+template <class RT>
+std::int64_t stress_on(unsigned workers, const StressCfg& cfg,
+                       Stats* stats_out = nullptr) {
+  typename RT::Options o;
+  o.workers = workers;
+  RT rt(o);
+  std::int64_t sum = stress_run(rt, cfg);
+  if (stats_out != nullptr) {
+    *stats_out = rt.stats();
+  }
+  return sum;
+}
+
+// Pure configurations (no escaping writes): every runtime must agree
+// with seq, and the hierarchical runtime must promote NOTHING -- all
+// leaf allocations flow up by join-time merges alone.
+PARMEM_TEST(stress_pure_fork_trees_parity_and_zero_promotion) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (int depth : {4, 6, 8}) {
+      StressCfg cfg;
+      cfg.seed = seed * 0x5DEECE66Dull;
+      cfg.depth = depth;
+      cfg.escape_pct = 0;
+      const std::int64_t ref = stress_on<SeqRuntime>(1, cfg);
+      for (unsigned w : {1u, 2u}) {
+        Stats hs;
+        CHECK_EQ(stress_on<HierRuntime>(w, cfg, &hs), ref);
+        CHECK_EQ(hs.promotions, 0u);
+        CHECK_EQ(hs.promoted_bytes, 0u);
+        CHECK_EQ(stress_on<StwRuntime>(w, cfg), ref);
+        CHECK_EQ(stress_on<LhRuntime>(w, cfg), ref);
+      }
+    }
+  }
+}
+
+// Escaping configurations: parity must hold through promotion, and the
+// escaping writes must actually promote under hierarchical heaps (the
+// root level always forks, so with a 100% escape fraction at least the
+// two top-level leaves write from child tasks).
+PARMEM_TEST(stress_escaping_fork_trees_parity) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (int escape_pct : {30, 100}) {
+      StressCfg cfg;
+      cfg.seed = seed * 0xB5026F5AA96619E9ull;
+      cfg.depth = 6;
+      cfg.escape_pct = escape_pct;
+      const std::int64_t ref = stress_on<SeqRuntime>(1, cfg);
+      for (unsigned w : {1u, 2u}) {
+        Stats hs;
+        CHECK_EQ(stress_on<HierRuntime>(w, cfg, &hs), ref);
+        if (escape_pct == 100) {
+          CHECK(hs.promotions > 0);
+          CHECK(hs.promoted_bytes > 0);
+        }
+        CHECK_EQ(stress_on<StwRuntime>(w, cfg), ref);
+        CHECK_EQ(stress_on<LhRuntime>(w, cfg), ref);
+      }
+    }
+  }
+}
+
+}  // namespace
