@@ -12,6 +12,7 @@
 // join; collecting the quiesced two-sibling subtree before it merges
 // upward lowers peak heap occupancy for some GC time.
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench_common/harness.hpp"
@@ -89,17 +90,24 @@ int main(int argc, char** argv) {
       ChunkPool pool;
       HeapArena arena(pool);
       HeapRecord* heap = nullptr;
+      // Same seed for every repetition and team size: all rows evacuate
+      // the identical graph, so best-of-runs time and the copy counts
+      // describe the same work.
       std::vector<Object*> roots =
-          build_heap(arena, heap, heap_bytes, opt.sizes.seed + r);
+          build_heap(arena, heap, heap_bytes, opt.sizes.seed);
       core::ParallelCollector pc(pool, {heap},
                                  core::ParallelGcOptions{team, 128});
       Timer timer;
-      out = pc.collect([&roots](auto&& f) {
+      core::ParallelGcOutcome run_out = pc.collect([&roots](auto&& f) {
         for (Object*& root : roots) {
           f(&root);
         }
       });
-      best = std::min(best, timer.seconds());
+      double seconds = timer.seconds();
+      if (seconds < best) {
+        best = seconds;
+        out = std::move(run_out);
+      }
       heap->install_chunk_list(nullptr, nullptr, 0);
     }
     if (team == 1) {
@@ -120,17 +128,30 @@ int main(int argc, char** argv) {
   std::printf("%-10s %9s %10s %8s %10s\n", "join-gc", "Tp(s)", "peakMB",
               "gcs", "gc%");
   print_rule(52);
-  for (const std::size_t threshold : {std::size_t{0}, std::size_t{1} << 16}) {
+  struct JoinPolicy {
+    const char* label;
+    std::size_t threshold;
+    unsigned team;
+  };
+  // The team row collects the same subtrees with gc_parallel_team
+  // workers; at these subtree sizes the per-collection thread spawn
+  // usually dominates, which is exactly the tradeoff to expose.
+  const JoinPolicy policies[] = {
+      {"off", 0, 0},
+      {"64KiB", std::size_t{1} << 16, 0},
+      {"64KiB-team", std::size_t{1} << 16, procs > 1 ? procs : 2},
+  };
+  for (const JoinPolicy& p : policies) {
     HierRuntime::Options ro;
     ro.workers = procs;
-    ro.gc_join_threshold = threshold;
+    ro.gc_join_threshold = p.threshold;
+    ro.gc_parallel_team = p.team;
     HierRuntime rt(ro);
     const Measurement m =
         measure(rt, opt.sizes, opt.runs, [](HierRuntime& r, const Sizes& z) {
           return bench_usp_tree(r, z);
         });
-    std::printf("%-10s %9.3f %10s %8llu %10s\n",
-                threshold == 0 ? "off" : "64KiB", m.seconds,
+    std::printf("%-10s %9.3f %10s %8llu %10s\n", p.label, m.seconds,
                 fmt_mb(m.peak_bytes).c_str(),
                 static_cast<unsigned long long>(m.stats.gc_count),
                 fmt_pct(m.gc_fraction()).c_str());
@@ -140,6 +161,7 @@ int main(int argc, char** argv) {
       "\nexpected shape: part 1 -- collection time drops with team size "
       "(the paper's sequential collector is team=1); part 2 -- join-time "
       "collection trades GC work for lower peak occupancy on "
-      "promotion-heavy joins\n");
+      "promotion-heavy joins, and the team row only wins once subtrees "
+      "are large enough to amortize its per-collection thread spawn\n");
   return 0;
 }

@@ -166,15 +166,22 @@ class ChunkPool {
   std::atomic<std::size_t> peak_bytes_{0};
 };
 
+// Polite spin: tells the core we are in a busy-wait so the sibling
+// hyperthread gets the pipeline. Shared by every spin site (SpinLock,
+// the scheduler's steal loop, GC-team termination detection).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+}
+
 // Tiny spinlock guarding fine-grained remote bumps into an internal
 // heap; promotion critical sections are a handful of instructions.
 class SpinLock {
  public:
   void lock() {
     while (flag_.test_and_set(std::memory_order_acquire)) {
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#endif
+      cpu_relax();
     }
   }
   void unlock() { flag_.clear(std::memory_order_release); }
@@ -240,6 +247,19 @@ class Heap {
     return o;
   }
 
+  // Header-agnostic bump: reserve `size` bytes (already object-aligned,
+  // e.g. from object_bytes()) without writing a header. Same mutual
+  // exclusion rules as bump_alloc.
+  char* bump_raw(std::size_t size) {
+    char* p = top_;
+    char* nt = p + size;
+    if (__builtin_expect(nt > end_, 0)) {
+      return overflow_raw(size);
+    }
+    top_ = nt;
+    return p;
+  }
+
   // Snapshot the bump pointer into the tail chunk so object walkers
   // can iterate it without consulting `top_`.
   void retire_tail() {
@@ -300,9 +320,35 @@ class Heap {
     }
   }
 
+  // Adopt an externally built, fully retired chunk list (obj_end valid
+  // on every chunk; `tail` terminates it). The current list must have
+  // been detached or released first. `allocated` is the object bytes
+  // the list carries; the bump pointer stays closed, so the next
+  // bump_alloc opens a fresh chunk.
+  void adopt_chunks(Chunk* head, Chunk* tail, std::size_t allocated) {
+    assert(head_ == nullptr && "detach or release existing chunks first");
+    std::size_t bytes = 0;
+    for (Chunk* c = head; c != nullptr; c = c->next) {
+      c->heap.store(this, std::memory_order_relaxed);
+      c->from_space = false;
+      bytes += c->bytes;
+    }
+    head_ = head;
+    tail_ = tail;
+    top_ = end_ = nullptr;
+    bytes_ = bytes;
+    allocated_full_ = allocated;
+  }
+
  private:
   Object* overflow_alloc(std::uint32_t nptr, std::uint32_t nscalar,
                          std::size_t size) {
+    Object* o = reinterpret_cast<Object*>(overflow_raw(size));
+    o->init_header(nptr, nscalar);
+    return o;
+  }
+
+  char* overflow_raw(std::size_t size) {
     retire_tail();
     if (top_ != nullptr) {
       allocated_full_ += static_cast<std::size_t>(top_ - tail_->data());
@@ -323,7 +369,7 @@ class Heap {
     bytes_ += c->bytes;
     top_ = c->data();
     end_ = c->data_limit();
-    Object* o = reinterpret_cast<Object*>(top_);
+    char* p = top_;
     top_ += size;
     if (c->oversized) {
       // Close the chunk: objects after the big one would sit past the
@@ -331,8 +377,7 @@ class Heap {
       // mask no longer finds this header.
       end_ = top_;
     }
-    o->init_header(nptr, nscalar);
-    return o;
+    return p;
   }
 
   Heap* parent_;

@@ -28,6 +28,7 @@
 #include <variant>
 
 #include "core/gc_leaf.hpp"
+#include "core/gc_parallel.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
 #include "core/promote.hpp"
@@ -48,6 +49,16 @@ class HierRuntime {
     std::size_t gc_min_budget = std::size_t{4} << 20;  // leaf bytes before GC
     std::size_t gc_join_threshold = 0;  // 0 = no collection at joins
     double gc_growth_factor = 8.0;      // budget = max(min, factor * live)
+    // Team size for join-time subtree collections (core/gc_parallel.hpp);
+    // 0 or 1 keeps them sequential. Only the quiesced just-merged
+    // subtree is evacuated, so the team runs concurrently with every
+    // other task: no task outside the subtree can hold a reference into
+    // it (the hierarchy invariant plus fork-join reachability), and
+    // foreign objects are only ever chased, never claimed. The team is
+    // spawned as fresh threads per collection (~0.1 ms of spawn/join),
+    // so pair it with a gc_join_threshold large enough -- several MB of
+    // merged subtree -- for the parallel copy to amortize that.
+    unsigned gc_parallel_team = 0;
   };
 
   class Ctx {
@@ -131,11 +142,29 @@ class HierRuntime {
                                              f->for_each_slot(fn);
                                            }
                                          });
-      auto scaled = static_cast<std::size_t>(
-          static_cast<double>(live) * rt_->opts_.gc_growth_factor);
-      gc_budget_ = scaled > rt_->opts_.gc_min_budget
-                       ? scaled
-                       : rt_->opts_.gc_min_budget;
+      rescale_budget(live);
+    }
+
+    // Team evacuation of this task's (quiesced) heap -- the join-time
+    // path when Options::gc_parallel_team > 1. Same roots and same
+    // survivors as collect_now(), just copied by `team` workers.
+    void parallel_collect_now(unsigned team) {
+      core::ParallelCollector pc(rt_->chunks_, std::vector<Heap*>{heap_},
+                                 core::ParallelGcOptions{team, 128});
+      core::ParallelGcOutcome out = pc.collect([this](auto&& fn) {
+        for (RootFrame* f = frames_; f != nullptr; f = f->prev()) {
+          f->for_each_slot(fn);
+        }
+      });
+      rt_->stats_.gc_count.fetch_add(1, std::memory_order_relaxed);
+      rt_->stats_.gc_bytes_copied.fetch_add(out.totals.bytes_copied,
+                                            std::memory_order_relaxed);
+      // gc_ns aggregates per-worker busy time, like concurrent leaf
+      // collections do (NOT wall * team: spawn/join overhead and the
+      // other workers' lifetimes are not this team's copy work).
+      rt_->stats_.gc_ns.fetch_add(out.totals.busy_ns,
+                                  std::memory_order_relaxed);
+      rescale_budget(out.totals.bytes_copied);
     }
 
     HierRuntime& runtime() { return *rt_; }
@@ -163,6 +192,14 @@ class HierRuntime {
       Object* o = heap_->bump_alloc(nptr, nscalar);
       o->zero_fields();
       return o;
+    }
+
+    void rescale_budget(std::size_t live) {
+      auto scaled = static_cast<std::size_t>(
+          static_cast<double>(live) * rt_->opts_.gc_growth_factor);
+      gc_budget_ = scaled > rt_->opts_.gc_min_budget
+                       ? scaled
+                       : rt_->opts_.gc_min_budget;
     }
 
     void distant_write_ptr(Object* o, std::uint32_t idx, Object* v) {
@@ -256,9 +293,16 @@ class HierRuntime {
     parent->merge_from(heap_b);
     if (rt->opts_.gc_join_threshold != 0 &&
         parent->allocated_bytes() >= rt->opts_.gc_join_threshold) {
-      // Join-time subtree collection. Only sound when branch results
-      // carry no unrooted Object* (publish via promotion instead).
-      ctx.collect_now();
+      // Join-time subtree collection: the two-sibling subtree just
+      // merged into `parent` is quiesced (both branches joined), so it
+      // can be evacuated here -- by a team when gc_parallel_team asks
+      // for one. Only sound when branch results carry no unrooted
+      // Object* (publish via promotion instead).
+      if (rt->opts_.gc_parallel_team > 1) {
+        ctx.parallel_collect_now(rt->opts_.gc_parallel_team);
+      } else {
+        ctx.collect_now();
+      }
     }
 
     if (err_a) {

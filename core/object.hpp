@@ -66,6 +66,12 @@ class Object {
   }
   void set_ptr_relaxed(std::uint32_t i, Object* v) { ptrs()[i] = v; }
 
+  // Plain (barrier-free) stores for single-task graph construction
+  // outside any runtime Ctx -- standalone-heap builders in benches and
+  // tests. Not safe once the object is visible to another task.
+  void store_i64_plain(std::uint32_t i, std::int64_t v) { set_scalar(i, v); }
+  void store_ptr_plain(std::uint32_t i, Object* v) { set_ptr_relaxed(i, v); }
+
   Object* fwd_acquire() const { return fwd_.load(std::memory_order_acquire); }
   Object* fwd_relaxed() const { return fwd_.load(std::memory_order_relaxed); }
   void set_fwd(Object* f, std::memory_order mo = std::memory_order_release) {
@@ -111,5 +117,22 @@ class Object {
 
 static_assert(sizeof(Object) == Object::kHeaderBytes,
               "object header must be exactly two words");
+
+// Footprint of an object with `nptr` pointer and `nscalar` i64 fields
+// -- what raw allocators (HeapRecord::allocate_raw) must reserve.
+inline constexpr std::size_t object_bytes(std::uint32_t nptr,
+                                          std::uint32_t nscalar) {
+  return Object::size_bytes(nptr, nscalar);
+}
+
+// Place an object header over raw heap memory (allocate_raw result)
+// and zero its fields.
+inline Object* init_object(void* mem, std::uint32_t nptr,
+                           std::uint32_t nscalar) {
+  Object* o = reinterpret_cast<Object*>(mem);
+  o->init_header(nptr, nscalar);
+  o->zero_fields();
+  return o;
+}
 
 }  // namespace parmem

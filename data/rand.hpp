@@ -1,0 +1,25 @@
+// Deterministic hashing / pseudo-random utilities shared by bench
+// drivers and tests. Everything here is a pure function of its inputs
+// (no global state), so graph builders seeded with the same value
+// produce bit-identical heaps across runs, team sizes, and runtimes.
+#pragma once
+
+#include <cstdint>
+
+namespace parmem::data {
+
+// SplitMix64-style mixer over (x, salt). Full-avalanche: every input
+// bit affects every output bit, so callers can derive independent
+// streams by varying the salt.
+inline constexpr std::uint64_t hash64(std::uint64_t x,
+                                      std::uint64_t salt = 0) {
+  // 2*salt+1 keeps the multiplier odd while staying injective in salt
+  // ((salt | 1) would collide each even salt with its odd successor).
+  std::uint64_t z =
+      x + 0x9e3779b97f4a7c15ull + (2 * salt + 1) * 0xff51afd7ed558ccdull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace parmem::data

@@ -6,14 +6,25 @@
 //   the task that trips the shared budget raises a GC request, waits
 //   for every other RUNNING task to park at a safepoint (their alloc
 //   slow path -- tasks between alloc and join are deactivated and need
-//   not park), merges all allocation buffers into one heap, and runs
-//   the Cheney collector from core/gc_leaf.hpp over the union of every
-//   task's root frames. The pause bills gc_ns for ALL stopped workers,
-//   matching the paper's "GC percentage of processor time" columns.
+//   not park), merges all allocation buffers into one heap, and
+//   evacuates it. With workers > 1 the evacuation itself is parallel:
+//   the parked mutators are recruited as a core/gc_parallel.hpp team,
+//   so the pause puts every stopped MUTATOR to work instead of idling
+//   it (pool workers with no task to run stay asleep in the scheduler
+//   and are not recruited -- a serial program phase still collects
+//   with a team of one). With one worker it is the sequential
+//   collector from
+//   core/gc_leaf.hpp. Either way the pause bills gc_ns for ALL stopped
+//   workers, matching the paper's "GC percentage" columns.
 //
 // The fast paths are as cheap as the sequential runtime's (that is the
-// point of this baseline); the cost shows up as whole-machine pauses
-// that grow with the worker count.
+// point of this baseline), and since the fork-overhead fix the fork
+// path is lock-free too: entering/leaving the running set is one
+// atomic add on a per-worker active count plus one check of the
+// pending-collection flag (both seq_cst, Dekker-paired with the
+// collector's flag-store/count-read), and context registration is a
+// per-worker intrusive list under a per-worker spinlock. The runtime
+// mutex is only ever taken on collection paths.
 #pragma once
 
 #include <atomic>
@@ -28,6 +39,7 @@
 #include <vector>
 
 #include "core/gc_leaf.hpp"
+#include "core/gc_parallel.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
 #include "core/roots.hpp"
@@ -100,8 +112,8 @@ class StwRuntime {
     // SpawnedBranch hooks: a branch joins the running set for exactly
     // the span of its execution (entry blocks while a collection is
     // pending; exit wakes a collector waiting on the running count).
-    void branch_enter() { rt_->activate(this); }
-    void branch_exit() { rt_->deactivate(this); }
+    void branch_enter() { rt_->activate(); }
+    void branch_exit() { rt_->deactivate(); }
 
    private:
     friend class StwRuntime;
@@ -113,7 +125,7 @@ class StwRuntime {
     ~Ctx() { rt_->deregister_ctx(this); }
 
     Object* alloc_slow(std::uint32_t nptr, std::uint32_t nscalar) {
-      rt_->safepoint(this);
+      rt_->safepoint();
       if (rt_->chunks_.live_bytes() >=
           rt_->gc_budget_.load(std::memory_order_relaxed)) {
         rt_->collect(this, /*force=*/false);
@@ -126,12 +138,17 @@ class StwRuntime {
     StwRuntime* rt_;
     Heap heap_;  // this task's allocation buffer of the shared heap
     RootFrame* frames_ = nullptr;
-    bool active_ = false;  // guarded by rt_->mu_
+    Ctx* reg_prev_ = nullptr;  // intrusive per-worker registry links,
+    Ctx* reg_next_ = nullptr;  // guarded by the home slot's ctx_lock
+    unsigned home_slot_ = 0;
   };
 
   StwRuntime() : StwRuntime(Options{}) {}
   explicit StwRuntime(const Options& opts)
-      : opts_(opts), gc_budget_(opts.gc_min_budget), pool_(opts.workers) {}
+      : opts_(opts),
+        gc_budget_(opts.gc_min_budget),
+        pool_(opts.workers),
+        slots_(pool_.workers()) {}
   StwRuntime(const StwRuntime&) = delete;
   StwRuntime& operator=(const StwRuntime&) = delete;
 
@@ -145,7 +162,7 @@ class StwRuntime {
   auto run(F&& f) {
     WorkStealPool::Scope scope(&pool_);
     Ctx ctx(this);
-    ActiveScope act(this, &ctx);
+    ActiveScope act(this);
     return f(ctx);
   }
 
@@ -163,7 +180,7 @@ class StwRuntime {
     // must never wait on a task that is blocked in fork2 rather than
     // parked at a safepoint. Its frames stay registered (and scanned)
     // through its Ctx for the whole join.
-    rt->deactivate(&ctx);
+    rt->deactivate();
     Ctx ctx_a(rt);
     Ctx ctx_b(rt);
 
@@ -184,7 +201,7 @@ class StwRuntime {
     // Reactivating blocks while a collection is pending, so once we are
     // back the merges below cannot race it: a new collection cannot
     // reach the copying phase until this task parks or deactivates.
-    rt->activate(&ctx);
+    rt->activate();
     ctx.heap_.merge_from(ctx_a.heap_);
     ctx.heap_.merge_from(ctx_b.heap_);
 
@@ -198,69 +215,124 @@ class StwRuntime {
   }
 
  private:
+  // One cache line per pool worker: the running-set count for the
+  // lock-free fork path, and the context registry for that worker's
+  // thread (mutated only from it, so the spinlock is uncontended
+  // except against a stopped-world collector scanning the lists).
+  struct alignas(64) WorkerSlot {
+    std::atomic<int> active{0};
+    SpinLock ctx_lock;
+    Ctx* ctx_head = nullptr;
+  };
+
   struct ActiveScope {
     StwRuntime* rt;
-    Ctx* c;
-    ActiveScope(StwRuntime* r, Ctx* ctx) : rt(r), c(ctx) { rt->activate(c); }
-    ~ActiveScope() { rt->deactivate(c); }
+    explicit ActiveScope(StwRuntime* r) : rt(r) { rt->activate(); }
+    ~ActiveScope() { rt->deactivate(); }
     ActiveScope(const ActiveScope&) = delete;
     ActiveScope& operator=(const ActiveScope&) = delete;
   };
 
   void register_ctx(Ctx* c) {
-    std::lock_guard<std::mutex> g(mu_);
-    ctxs_.push_back(c);
+    unsigned idx = pool_.current_index();
+    WorkerSlot& s = slots_[idx];
+    c->home_slot_ = idx;
+    std::lock_guard<SpinLock> g(s.ctx_lock);
+    c->reg_prev_ = nullptr;
+    c->reg_next_ = s.ctx_head;
+    if (s.ctx_head != nullptr) {
+      s.ctx_head->reg_prev_ = c;
+    }
+    s.ctx_head = c;
   }
   void deregister_ctx(Ctx* c) {
-    std::lock_guard<std::mutex> g(mu_);
-    for (std::size_t i = 0; i < ctxs_.size(); ++i) {
-      if (ctxs_[i] == c) {
-        ctxs_[i] = ctxs_.back();
-        ctxs_.pop_back();
-        break;
-      }
+    WorkerSlot& s = slots_[c->home_slot_];
+    std::lock_guard<SpinLock> g(s.ctx_lock);
+    if (c->reg_prev_ != nullptr) {
+      c->reg_prev_->reg_next_ = c->reg_next_;
+    } else {
+      s.ctx_head = c->reg_next_;
+    }
+    if (c->reg_next_ != nullptr) {
+      c->reg_next_->reg_prev_ = c->reg_prev_;
     }
   }
 
-  void activate(Ctx* c) {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] { return !gc_pending_; });
-    c->active_ = true;
-    ++running_;
+  // Running-set membership. The fast path is one atomic RMW on this
+  // worker's own count plus a flag check; seq_cst pairs it with the
+  // collector's flag-store-then-count-read (Dekker), so an activation
+  // either observes the pending collection and backs off, or is
+  // observed by the collector, which then waits for this task to park
+  // or deactivate.
+  void activate() {
+    std::atomic<int>& cnt = slots_[pool_.current_index()].active;
+    for (;;) {
+      cnt.fetch_add(1, std::memory_order_seq_cst);
+      if (__builtin_expect(!gc_flag_.load(std::memory_order_seq_cst), 1)) {
+        return;
+      }
+      // A collection is pending: back out (waking its driver, which
+      // may be waiting on the running count) and sit it out.
+      std::unique_lock<std::mutex> lk(mu_);
+      cnt.fetch_sub(1, std::memory_order_seq_cst);
+      pause_cv_.notify_all();
+      done_cv_.wait(lk, [&] { return !gc_pending_; });
+    }
   }
-  void deactivate(Ctx* c) {
-    std::lock_guard<std::mutex> g(mu_);
-    c->active_ = false;
-    --running_;
-    pause_cv_.notify_all();  // a collector may be waiting on the count
+  void deactivate() {
+    slots_[pool_.current_index()].active.fetch_sub(1,
+                                                   std::memory_order_seq_cst);
+    if (__builtin_expect(gc_flag_.load(std::memory_order_seq_cst), 0)) {
+      std::lock_guard<std::mutex> g(mu_);
+      pause_cv_.notify_all();  // a collector may be waiting on the count
+    }
+  }
+
+  unsigned running() const {
+    long n = 0;
+    for (const WorkerSlot& s : slots_) {
+      n += s.active.load(std::memory_order_seq_cst);
+    }
+    return static_cast<unsigned>(n);
   }
 
   // Cheap polling check on the alloc slow path.
-  void safepoint(Ctx*) {
-    if (__builtin_expect(
-            gc_flag_.load(std::memory_order_acquire), 0)) {
+  void safepoint() {
+    if (__builtin_expect(gc_flag_.load(std::memory_order_acquire), 0)) {
       park();
     }
   }
   void park() {
     std::unique_lock<std::mutex> lk(mu_);
+    wait_out_collection(lk);
+  }
+
+  // Parked at a safepoint (or arriving second into collect): count
+  // ourselves paused, serve as an evacuation-team worker if the driver
+  // recruits us, and return once the collection is over.
+  void wait_out_collection(std::unique_lock<std::mutex>& lk) {
+    ++paused_;
+    pause_cv_.notify_all();
     while (gc_pending_) {
-      ++paused_;
-      pause_cv_.notify_all();
-      done_cv_.wait(lk, [&] { return !gc_pending_; });
-      --paused_;
+      if (gc_team_ != nullptr && gc_team_next_ < gc_team_slots_) {
+        unsigned slot = gc_team_next_++;
+        core::ParallelCollector* pc = gc_team_;
+        lk.unlock();
+        pc->run_worker(slot);
+        lk.lock();
+        continue;
+      }
+      done_cv_.wait(lk);
     }
+    --paused_;
   }
 
   void collect(Ctx* me, bool force) {
     std::unique_lock<std::mutex> lk(mu_);
     if (gc_pending_) {
-      // Someone else is collecting: park here and let them; our alloc
-      // retries against the (now mostly empty) heap afterwards.
-      ++paused_;
-      pause_cv_.notify_all();
-      done_cv_.wait(lk, [&] { return !gc_pending_; });
-      --paused_;
+      // Someone else is collecting: park here (possibly copying for
+      // them); our alloc retries against the collected heap afterwards.
+      wait_out_collection(lk);
       return;
     }
     if (!force &&
@@ -268,34 +340,65 @@ class StwRuntime {
       return;  // lost a race with a finished collection; budget is fine
     }
     gc_pending_ = true;
-    gc_flag_.store(true, std::memory_order_release);
-    pause_cv_.wait(lk, [&] { return paused_ == running_ - 1; });
+    gc_flag_.store(true, std::memory_order_seq_cst);
+    pause_cv_.wait(lk, [&] { return paused_ == running() - 1; });
 
     // The world is stopped. Fold every task's allocation buffer into
-    // ours so the flat heap really is one heap, then reuse the Cheney
-    // collector with the union of all root frames.
+    // ours so the flat heap really is one heap, then evacuate it with
+    // the union of all root frames.
     auto t0 = std::chrono::steady_clock::now();
-    for (Ctx* c : ctxs_) {
-      if (c != me) {
-        me->heap_.merge_from(c->heap_);
+    for (WorkerSlot& s : slots_) {
+      std::lock_guard<SpinLock> g(s.ctx_lock);
+      for (Ctx* c = s.ctx_head; c != nullptr; c = c->reg_next_) {
+        if (c != me) {
+          me->heap_.merge_from(c->heap_);
+        }
       }
     }
-    std::size_t live =
-        leaf_gc_collect(&me->heap_, &stats_, [&](auto&& fn) {
-          for (Ctx* c : ctxs_) {
-            for (RootFrame* f = c->frames_; f != nullptr; f = f->prev()) {
-              f->for_each_slot(fn);
-            }
+    auto each_root = [&](auto&& fn) {
+      for (WorkerSlot& s : slots_) {
+        std::lock_guard<SpinLock> g(s.ctx_lock);
+        for (Ctx* c = s.ctx_head; c != nullptr; c = c->reg_next_) {
+          for (RootFrame* f = c->frames_; f != nullptr; f = f->prev()) {
+            f->for_each_slot(fn);
           }
-        });
-    auto t1 = std::chrono::steady_clock::now();
-    auto wall = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-            .count());
-    // leaf_gc_collect billed one worker's wall time; the pause also
-    // stalled every other worker.
-    stats_.gc_ns.fetch_add(wall * (pool_.workers() - 1),
-                           std::memory_order_relaxed);
+        }
+      }
+    };
+
+    std::size_t live;
+    if (pool_.workers() > 1) {
+      // Team evacuation: the parked mutators ARE the team. Every
+      // context counted in paused_ is blocked in wait_out_collection
+      // on its own worker thread, so exactly 1 + paused_ threads are
+      // available; notify hands each a team slot.
+      const auto team = static_cast<unsigned>(1 + paused_);
+      core::ParallelCollector pc(chunks_, std::vector<Heap*>{&me->heap_},
+                                 core::ParallelGcOptions{team, 128});
+      pc.prepare(each_root);
+      gc_team_ = &pc;
+      gc_team_slots_ = team;
+      gc_team_next_ = 1;  // slot 0 is the driver's
+      done_cv_.notify_all();
+      lk.unlock();
+      pc.run_worker(0);
+      core::ParallelGcOutcome out = pc.finish();  // all recruits exited
+      lk.lock();
+      gc_team_ = nullptr;
+      live = out.totals.bytes_copied;
+      stats_.gc_count.fetch_add(1, std::memory_order_relaxed);
+      stats_.gc_bytes_copied.fetch_add(live, std::memory_order_relaxed);
+      auto wall = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      // The pause costs every worker the full wall time, team member
+      // or not.
+      stats_.gc_ns.fetch_add(wall * pool_.workers(),
+                             std::memory_order_relaxed);
+    } else {
+      live = leaf_gc_collect(&me->heap_, &stats_, each_root);
+    }
 
     auto scaled = static_cast<std::size_t>(static_cast<double>(live) *
                                            opts_.gc_growth_factor);
@@ -304,7 +407,7 @@ class StwRuntime {
         std::memory_order_relaxed);
 
     gc_pending_ = false;
-    gc_flag_.store(false, std::memory_order_release);
+    gc_flag_.store(false, std::memory_order_seq_cst);
     done_cv_.notify_all();
   }
 
@@ -313,16 +416,18 @@ class StwRuntime {
   StatsCell stats_;
   std::atomic<std::size_t> gc_budget_;
 
-  std::mutex mu_;
+  std::mutex mu_;                     // collection paths only
   std::condition_variable pause_cv_;  // parked/left the running set
   std::condition_variable done_cv_;   // collection finished
-  std::vector<Ctx*> ctxs_;            // every live task context
-  unsigned running_ = 0;
-  unsigned paused_ = 0;
-  bool gc_pending_ = false;
+  unsigned paused_ = 0;               // guarded by mu_
+  bool gc_pending_ = false;           // guarded by mu_
   std::atomic<bool> gc_flag_{false};  // lock-free mirror of gc_pending_
+  core::ParallelCollector* gc_team_ = nullptr;  // open team, guarded by mu_
+  unsigned gc_team_slots_ = 0;                  // guarded by mu_
+  unsigned gc_team_next_ = 0;                   // guarded by mu_
 
   WorkStealPool pool_;
+  std::vector<WorkerSlot> slots_;  // one per pool worker; fixed size
 };
 
 static_assert(RuntimeLike<StwRuntime>);

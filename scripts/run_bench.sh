@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Build (Release) and run the perf baseline:
-#   micro_ops      -> BENCH_micro.json     (google-benchmark JSON, the
-#                                           baseline later perf PRs diff)
-#   fig08_op_costs -> BENCH_fig08.txt      (the paper's Figure 8 matrix)
-#   fig10_pure     -> BENCH_runtimes.json  (per-runtime sections: seq /
-#                                           stw / localheap / hier)
+#   micro_ops            -> BENCH_micro.json    (google-benchmark JSON, the
+#                                                baseline later perf PRs diff)
+#   fig08_op_costs       -> BENCH_fig08.txt     (the paper's Figure 8 matrix)
+#   fig10_pure           -> BENCH_runtimes.json (per-runtime sections: seq /
+#                                                stw / localheap / hier)
+#   ablation_parallel_gc -> BENCH_parallel_gc.txt (team-scaling + join-time
+#                                                policy tables)
 #
 # Usage: scripts/run_bench.sh [--quick] [--bench=FILTER]
 #   --quick          smoke mode: short min-time / tiny sizes, for CI.
 #   --bench=FILTER   run only matching benchmarks. For micro_ops the
 #                    filter is a google-benchmark regex; for fig10 it is
-#                    a comma-separated kernel list (fib,map,...).
+#                    a comma-separated kernel list (fib,map,...); the
+#                    parallel_gc section is skipped under a filter.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,7 +31,7 @@ done
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
-  --target micro_ops fig08_op_costs fig10_pure >/dev/null
+  --target micro_ops fig08_op_costs fig10_pure ablation_parallel_gc >/dev/null
 
 # A filtered run is a subset: never let it overwrite the committed
 # baselines that later perf PRs (and CI's asserts) diff against.
@@ -75,6 +78,24 @@ if [ -n "$FILTER" ]; then
 fi
 "$BUILD/fig10_pure" "${FIG10_ARGS[@]}"
 
+# Parallel-GC baseline: Part 1 team scaling of one-heap evacuation,
+# Part 2 join-time policy. Kernel-agnostic, so a --bench filter skips
+# it rather than recording a half-empty table.
+if [ -z "$FILTER" ]; then
+  PGC_ARGS=("--procs=2")
+  if [ "$QUICK" -eq 1 ]; then
+    PGC_ARGS+=("--quick")
+  else
+    PGC_ARGS+=("--scale=0.25" "--runs=3")
+  fi
+  "$BUILD/ablation_parallel_gc" "${PGC_ARGS[@]}" \
+    | tee "$OUT_DIR/BENCH_parallel_gc.txt"
+fi
+
 echo
 echo "results written: $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_fig08.txt," \
-     "$OUT_DIR/BENCH_runtimes.json"
+     "$OUT_DIR/BENCH_runtimes.json" \
+     "${FILTER:+(parallel_gc section skipped under --bench)}"
+if [ -z "$FILTER" ]; then
+  echo "                 + $OUT_DIR/BENCH_parallel_gc.txt"
+fi
