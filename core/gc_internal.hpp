@@ -1,0 +1,125 @@
+// Hierarchy-aware internal-heap collection: evacuate one INTERNAL heap
+// (a heap whose owning task is blocked in fork2 while descendants run)
+// in place, while every running task of its runtime is parked at a
+// safepoint (core/sched.hpp's SafepointGate).
+//
+// What makes an internal heap collectable without copying anything
+// else: references into heap H can only live in
+//
+//   1. H itself (the ordinary Cheney scan),
+//   2. the root frames of H's owner and of every task below it,
+//   3. pointer fields of objects in H's DESCENDANT heaps (pointers up
+//      the tree are always legal, so any descendant object may point
+//      into H), and
+//   4. forwarding words of stale promotion copies in descendant heaps
+//      whose master was promoted into H (a task holding the stale copy
+//      reaches the master by chasing, so the edge is a root: it keeps
+//      the master alive and must be rewritten when the master moves).
+//
+// Ancestors never point down (that is what promotion maintains) and a
+// cousin can only reach shared data through a common ancestor of both
+// tasks -- which is then an ancestor of H, not H. So the root set is
+// "all frames + descendant fields + descendant forwarding words", and
+// the existing collectors (core/gc_leaf.hpp sequentially,
+// core/gc_parallel.hpp with a team) evacuate H against it unchanged:
+// survivors keep their depth and heap, so the zero/one-check barrier
+// invariants are untouched, and forwarding chains that used to pass
+// through H are shortened past it before from-space is released.
+//
+// Scanning every descendant object treats descendants as fully live --
+// conservative (descendant garbage retains what it references in H)
+// but sound; descendant leaves have their own leaf collections.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "core/gc_leaf.hpp"
+#include "core/gc_parallel.hpp"
+#include "core/heap.hpp"
+#include "core/object.hpp"
+#include "core/stats.hpp"
+
+namespace parmem {
+
+namespace detail {
+
+// Emit the extra root slots contributed by one descendant heap `h` of
+// `target`: every non-null pointer field, plus the forwarding word of
+// any stale copy whose master sits in target's (already detached and
+// from_space-flagged) from-space. Must run inside the collector's
+// root_iter callback -- after the flip, before tracing.
+template <class SlotFn>
+void internal_gc_scan_descendant(Heap* target, Heap* h, SlotFn&& fn) {
+  heap_for_each_object(h, [&](Object* o) {
+    std::uint32_t np = o->nptr();
+    Object** fields = o->ptrs();
+    for (std::uint32_t j = 0; j < np; ++j) {
+      if (fields[j] != nullptr) {
+        fn(&fields[j]);
+      }
+    }
+    Object* f = o->fwd_relaxed();
+    if (f != nullptr) {
+      assert(f != Object::busy_sentinel() &&
+             "promotion in flight during a stopped internal collection");
+      Chunk* c = chunk_of(f);
+      if (c->from_space &&
+          c->heap.load(std::memory_order_relaxed) == target) {
+        fn(o->fwd_slot());
+      }
+    }
+  });
+}
+
+// The full internal-collection root enumeration; `all_heaps` is every
+// live heap of the runtime (one per task context), `frame_roots(fn)`
+// invokes fn(Object** slot) on every root-frame slot of every task
+// (owner, descendants, and unrelated tasks alike -- unrelated frames
+// cannot point into target, so scanning them is merely harmless).
+template <class FrameRoots, class SlotFn>
+void internal_gc_emit_roots(Heap* target, const std::vector<Heap*>& all_heaps,
+                            FrameRoots&& frame_roots, SlotFn&& fn) {
+  frame_roots(fn);
+  for (Heap* h : all_heaps) {
+    if (h != target && h->is_descendant_of(target)) {
+      internal_gc_scan_descendant(target, h, fn);
+    }
+  }
+}
+
+}  // namespace detail
+
+// Sequential hierarchy-aware collection of `target`. Caller guarantees
+// the stopped-world precondition: target's owner is parked, blocked in
+// fork2, or is the caller itself at a safepoint, and so is every other
+// task of the runtime. Returns live bytes evacuated. Bills gc_count /
+// gc_bytes_copied / gc_ns through the shared leaf collector AND the
+// internal_gc_* pair.
+template <class FrameRoots>
+std::size_t internal_gc_collect(Heap* target,
+                                const std::vector<Heap*>& all_heaps,
+                                StatsCell* stats, FrameRoots&& frame_roots) {
+  std::size_t live = leaf_gc_collect(target, stats, [&](auto&& fn) {
+    detail::internal_gc_emit_roots(target, all_heaps, frame_roots, fn);
+  });
+  stats->internal_gc_count.fetch_add(1, std::memory_order_relaxed);
+  stats->internal_gc_bytes.fetch_add(live, std::memory_order_relaxed);
+  return live;
+}
+
+// Team variant: same roots, same survivors, copied by `team` workers
+// (core/gc_parallel.hpp spawns them per collection). Caller bills the
+// runtime stats from the outcome.
+template <class FrameRoots>
+core::ParallelGcOutcome internal_gc_collect_parallel(
+    ChunkPool& pool, Heap* target, const std::vector<Heap*>& all_heaps,
+    unsigned team, FrameRoots&& frame_roots) {
+  core::ParallelCollector pc(pool, std::vector<Heap*>{target},
+                             core::ParallelGcOptions{team, 128});
+  return pc.collect([&](auto&& fn) {
+    detail::internal_gc_emit_roots(target, all_heaps, frame_roots, fn);
+  });
+}
+
+}  // namespace parmem

@@ -25,6 +25,13 @@ namespace parmem {
 template <class RootIter>
 std::size_t leaf_gc_collect(Heap* heap, StatsCell* stats,
                             RootIter&& root_iter) {
+  if (heap->chunks() == nullptr) {
+    // Empty heap (fresh, or all chunks already reclaimed): a true
+    // no-op. In particular this must not count as a collection or
+    // perturb the chunk-doubling schedule -- GC-stress mode collects
+    // at every safepoint, which hits this case constantly.
+    return 0;
+  }
   auto t0 = std::chrono::steady_clock::now();
 
   Chunk* from = heap->detach_chunks();
@@ -97,6 +104,9 @@ std::size_t leaf_gc_collect(Heap* heap, StatsCell* stats,
     heap->pool()->release(from);
     from = n;
   }
+  // A full collection settles all promoted-into growth: survivors were
+  // re-copied, the rest died with from-space.
+  heap->reset_remote_bytes();
 
   auto t1 = std::chrono::steady_clock::now();
   stats->gc_count.fetch_add(1, std::memory_order_relaxed);

@@ -316,6 +316,9 @@ class ParallelCollector {
       out.totals.busy_ns += w->stats.busy_ns;
     }
     out.claim_conflicts = out.totals.claim_conflicts;
+    for (Heap* h : heaps_) {
+      h->reset_remote_bytes();  // full collection settles promoted-into growth
+    }
     release_from_space();
     out.wall_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -209,6 +209,39 @@ class Heap {
   SpinLock& remote_lock() { return remote_lock_; }
   ChunkPool* pool() const { return pool_; }
 
+  // True when `anc` lies strictly above this heap on its root path --
+  // the descendant-enumeration test used by hierarchy-aware internal
+  // collection (a heap's referents can only live in itself, its
+  // descendants' frames/fields, or its owner's frames; never in
+  // ancestors or cousins).
+  bool is_descendant_of(const Heap* anc) const {
+    for (const Heap* h = parent_; h != nullptr; h = h->parent_) {
+      if (h == anc) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Bytes promoted INTO this heap since its last full collection --
+  // the allocation-triggered internal-collection policy's pressure
+  // metric. Bumped under the promotion protocol's lock but read
+  // remotely, hence atomic.
+  void note_remote_bytes(std::size_t n) {
+    remote_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::size_t remote_bytes() const {
+    return remote_bytes_.load(std::memory_order_relaxed);
+  }
+  void reset_remote_bytes() {
+    remote_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+  // Current chunk-growth step (4 KiB doubling to 256 KiB). Exposed so
+  // tests can pin that collections never reset the doubling schedule
+  // back to the small-leaf start.
+  std::size_t chunk_size_hint() const { return next_chunk_bytes_; }
+
   char* top() const { return top_; }
   Chunk* chunks() const { return head_; }
   Chunk* tail() const { return tail_; }
@@ -383,6 +416,7 @@ class Heap {
   Heap* parent_;
   std::uint32_t depth_;
   ChunkPool* pool_;
+  std::atomic<std::size_t> remote_bytes_{0};       // promoted-into bytes
   std::size_t next_chunk_bytes_ = kMinChunkBytes;  // doubles to kChunkBytes
   char* top_ = nullptr;
   char* end_ = nullptr;
@@ -393,5 +427,23 @@ class Heap {
   std::mutex lock_;
   SpinLock remote_lock_;
 };
+
+// Walk every object of `heap` in allocation order, invoking
+// fn(Object*). Retires the tail first so the active bump chunk is
+// walkable; the caller must be the owning task, or the owner must be
+// quiesced (a stopped world or a merged/joined subtree).
+template <class Fn>
+void heap_for_each_object(Heap* heap, Fn&& fn) {
+  heap->retire_tail();
+  for (Chunk* c = heap->chunks(); c != nullptr; c = c->next) {
+    char* p = c->data();
+    char* limit = c->obj_end;
+    while (p < limit) {
+      Object* o = reinterpret_cast<Object*>(p);
+      fn(o);
+      p += o->size();
+    }
+  }
+}
 
 }  // namespace parmem

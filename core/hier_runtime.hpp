@@ -17,8 +17,10 @@
 // and balanced programs promote nothing.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <exception>
 #include <initializer_list>
 #include <mutex>
@@ -26,7 +28,9 @@
 #include <type_traits>
 #include <utility>
 #include <variant>
+#include <vector>
 
+#include "core/gc_internal.hpp"
 #include "core/gc_leaf.hpp"
 #include "core/gc_parallel.hpp"
 #include "core/heap.hpp"
@@ -59,6 +63,21 @@ class HierRuntime {
     // so pair it with a gc_join_threshold large enough -- several MB of
     // merged subtree -- for the parallel copy to amortize that.
     unsigned gc_parallel_team = 0;
+    // Hierarchy-aware internal-heap collection (core/gc_internal.hpp):
+    // when a promotion pushes a heap's promoted-into bytes past this
+    // threshold, the next task to reach a safepoint (allocation slow
+    // path or fork2 boundary) pauses the running set and collects every
+    // such heap in place -- so promotion chains into a BUSY internal
+    // heap no longer accumulate until its owner rejoins. 0 disables.
+    // gc_parallel_team > 1 applies the same team to these collections.
+    std::size_t gc_internal_threshold = 0;
+    // GC-stress differential-testing mode: force a leaf collection and
+    // a join collection at every safepoint and ring the internal-
+    // collection doorbell with a 1-byte threshold, so every collector
+    // runs constantly. Checksums must be unchanged under it. Also
+    // forced on for every HierRuntime when the PARMEM_GC_STRESS
+    // environment variable is set (and not "0").
+    bool gc_stress = false;
   };
 
   class Ctx {
@@ -133,8 +152,24 @@ class HierRuntime {
     }
 
     // Force a leaf collection now (also used at joins when
-    // gc_join_threshold is set).
+    // gc_join_threshold is set). A no-op on an empty heap: no stats
+    // churn, no budget rescale, and the chunk-doubling schedule keeps
+    // whatever step it had reached.
+    //
+    // Roots are this task's own frames. An ancestor Local CAN be the
+    // only reference into this heap (a branch may publish its result
+    // into any ancestor's Local, and the object merges up into this
+    // heap at an intermediate join) -- but ancestor frames cannot be
+    // scanned from a RUNNING task without racing sibling branches that
+    // publish into them concurrently. So this collection is only sound
+    // under the runtime-api contract's publish discipline; join
+    // collections switch to the stopped-world all-frames path whenever
+    // the safepoint machinery is enabled (see fork2), which the
+    // GC-stress harness exercises on every join.
     void collect_now() {
+      if (heap_->chunks() == nullptr) {
+        return;
+      }
       std::size_t live = leaf_gc_collect(heap_, &rt_->stats_,
                                          [this](auto&& fn) {
                                            for (RootFrame* f = frames_;
@@ -143,6 +178,22 @@ class HierRuntime {
                                            }
                                          });
       rescale_budget(live);
+    }
+
+    // Force a hierarchy-aware internal collection cycle from this
+    // task's safepoint (the caller must hold no raw Object* -- same
+    // contract as alloc): pauses the running set and collects every
+    // heap holding promoted-into bytes, however busy its owner. A
+    // no-op unless internal collection or GC-stress is enabled.
+    void collect_internal_now() {
+      if (!rt_->sp_enabled_) {
+        return;
+      }
+      if (rt_->gate_.pending()) {
+        rt_->gate_.park();
+        return;
+      }
+      rt_->drive_internal_gc(/*forced=*/true);
     }
 
     // Team evacuation of this task's (quiesced) heap -- the join-time
@@ -171,10 +222,20 @@ class HierRuntime {
     Heap* leaf_heap() { return heap_; }
     RootFrame** root_head_ref() { return &frames_; }
 
-    // SpawnedBranch hooks: hierarchical branch contexts need no
-    // per-thread setup (the child heap was created by fork2).
-    void branch_enter() {}
-    void branch_exit() {}
+    // SpawnedBranch hooks: when internal collection is enabled a branch
+    // joins the running set for exactly the span of its execution
+    // (entry blocks while a stop is pending; exit wakes a driver
+    // waiting on the running count). Otherwise no per-thread setup.
+    void branch_enter() {
+      if (__builtin_expect(rt_->sp_enabled_, 0)) {
+        rt_->gate_.activate(rt_->pool_.current_index());
+      }
+    }
+    void branch_exit() {
+      if (__builtin_expect(rt_->sp_enabled_, 0)) {
+        rt_->gate_.deactivate(rt_->pool_.current_index());
+      }
+    }
 
    private:
     friend class HierRuntime;
@@ -183,9 +244,28 @@ class HierRuntime {
         : rt_(rt),
           heap_(heap),
           mode_(rt->opts_.promotion),
-          gc_budget_(rt->opts_.gc_min_budget) {}
+          gc_budget_(rt->opts_.gc_min_budget) {
+      if (__builtin_expect(rt_->sp_enabled_, 0)) {
+        rt_->register_ctx(this);
+      }
+    }
+
+    ~Ctx() {
+      if (__builtin_expect(rt_->sp_enabled_, 0)) {
+        rt_->deregister_ctx(this);
+      }
+    }
 
     Object* alloc_slow(std::uint32_t nptr, std::uint32_t nscalar) {
+      if (__builtin_expect(rt_->sp_enabled_, 0)) {
+        // The allocation slow path is a safepoint: no raw Object* may
+        // be held across alloc, so a pending internal collection can
+        // relocate while we park (or while we drive it ourselves).
+        rt_->safepoint();
+        if (rt_->opts_.gc_stress) {
+          collect_now();  // stress: leaf collection at every safepoint
+        }
+      }
       if (heap_->chunk_bytes() >= gc_budget_) {
         collect_now();
       }
@@ -208,6 +288,12 @@ class HierRuntime {
         Heap* hd = heap_of(d);
         if (v != nullptr && heap_of(v)->depth() > hd->depth()) {
           promote_and_store(d, idx, v, heap_, mode_, &rt_->stats_);
+          if (__builtin_expect(rt_->sp_enabled_, 0)) {
+            // Only a doorbell: the caller may legally hold raw
+            // pointers across write_ptr, so the collection itself
+            // waits for everyone's next allocation/fork safepoint.
+            rt_->note_internal_pressure(heap_of(Object::chase(d)));
+          }
           return;
         }
         if (mode_ == PromotionMode::kFineGrained) {
@@ -231,11 +317,26 @@ class HierRuntime {
     PromotionMode mode_;
     std::size_t gc_budget_;
     RootFrame* frames_ = nullptr;
+    // Intrusive per-worker registry links, guarded by the home slot's
+    // ctx_lock. Deliberately NOT default-initialised: they are written
+    // by register_ctx and only read while registered, and fork2 makes
+    // two Ctxs per call -- dead stores here show up in the fork row.
+    Ctx* reg_prev_;
+    Ctx* reg_next_;
+    unsigned home_slot_;
   };
 
   HierRuntime() : HierRuntime(Options{}) {}
   explicit HierRuntime(const Options& opts)
-      : opts_(opts), pool_(opts.workers) {}
+      : opts_(opts),
+        pool_(opts.workers),
+        gate_(pool_.workers()),
+        slots_(pool_.workers()) {
+    if (!opts_.gc_stress && gc_stress_env()) {
+      opts_.gc_stress = true;
+    }
+    sp_enabled_ = opts_.gc_stress || opts_.gc_internal_threshold != 0;
+  }
   HierRuntime(const HierRuntime&) = delete;
   HierRuntime& operator=(const HierRuntime&) = delete;
 
@@ -252,6 +353,24 @@ class HierRuntime {
     WorkStealPool::Scope scope(&pool_);
     Heap root(nullptr, 0, &chunks_);
     Ctx ctx(this, &root);
+    // With internal collection enabled the root task is a member of
+    // the running set for the whole run (leaving it only inside fork2
+    // joins, like every other task).
+    struct ActiveScope {
+      HierRuntime* rt;
+      explicit ActiveScope(HierRuntime* r) : rt(r) {
+        if (rt->sp_enabled_) {
+          rt->gate_.activate(rt->pool_.current_index());
+        }
+      }
+      ~ActiveScope() {
+        if (rt->sp_enabled_) {
+          rt->gate_.deactivate(rt->pool_.current_index());
+        }
+      }
+      ActiveScope(const ActiveScope&) = delete;
+      ActiveScope& operator=(const ActiveScope&) = delete;
+    } act(this);
     return f(ctx);
   }
 
@@ -272,6 +391,11 @@ class HierRuntime {
     rt->stats_.forks.fetch_add(1, std::memory_order_relaxed);
     Heap* parent = ctx.heap_;
 
+    const bool sp = rt->sp_enabled_;
+    if (__builtin_expect(sp, 0)) {
+      rt->fork_enter_safepoint();
+    }
+
     Heap heap_a(parent, parent->depth() + 1, &rt->chunks_);
     Heap heap_b(parent, parent->depth() + 1, &rt->chunks_);
     Ctx ctx_a(rt, &heap_a);
@@ -282,23 +406,35 @@ class HierRuntime {
 
     std::optional<RA> ra;
     std::exception_ptr err_a;
+    ctx_a.branch_enter();
     try {
       ra.emplace(rtapi::invoke_branch(f, ctx_a));
     } catch (...) {
       err_a = std::current_exception();
     }
+    ctx_a.branch_exit();
     task_b.join(err_a != nullptr);
+
+    if (__builtin_expect(sp, 0)) {
+      rt->fork_exit_reactivate();
+    }
 
     parent->merge_from(heap_a);
     parent->merge_from(heap_b);
-    if (rt->opts_.gc_join_threshold != 0 &&
-        parent->allocated_bytes() >= rt->opts_.gc_join_threshold) {
+    if ((rt->opts_.gc_join_threshold != 0 &&
+         parent->allocated_bytes() >= rt->opts_.gc_join_threshold) ||
+        __builtin_expect(rt->opts_.gc_stress, 0)) {
       // Join-time subtree collection: the two-sibling subtree just
       // merged into `parent` is quiesced (both branches joined), so it
       // can be evacuated here -- by a team when gc_parallel_team asks
-      // for one. Only sound when branch results carry no unrooted
-      // Object* (publish via promotion instead).
-      if (rt->opts_.gc_parallel_team > 1) {
+      // for one. GC-stress forces it at every join. With the safepoint
+      // machinery on, the collection stops the world and roots from
+      // EVERY task's frames, so results published into any ancestor
+      // Local survive; without it, roots are this task's frames only
+      // and the runtime-api publish discipline is required.
+      if (__builtin_expect(sp, 0)) {
+        rt->stopped_join_collect(&ctx);
+      } else if (rt->opts_.gc_parallel_team > 1) {
         ctx.parallel_collect_now(rt->opts_.gc_parallel_team);
       } else {
         ctx.collect_now();
@@ -314,11 +450,252 @@ class HierRuntime {
     return std::pair<RA, RB>(std::move(*ra), task_b.take_result());
   }
 
+  // Test/debug hook: snapshot every live heap (one per task context;
+  // populated only while internal collection or GC-stress is enabled).
+  std::vector<Heap*> snapshot_heaps() {
+    std::vector<Heap*> heaps;
+    for (WorkerSlot& s : slots_) {
+      std::lock_guard<SpinLock> g(s.ctx_lock);
+      for (Ctx* c = s.ctx_head; c != nullptr; c = c->reg_next_) {
+        heaps.push_back(c->heap_);
+      }
+    }
+    return heaps;
+  }
+
  private:
+  static bool gc_stress_env() {
+    static const bool on = [] {
+      const char* v = std::getenv("PARMEM_GC_STRESS");
+      return v != nullptr && v[0] != '\0' &&
+             !(v[0] == '0' && v[1] == '\0');
+    }();
+    return on;
+  }
+
+  // One cache line per pool worker: the context registry for that
+  // worker's thread (mutated only from it, so the spinlock is
+  // uncontended except against a stopped-world driver scanning the
+  // lists). The running-set counts live in gate_.
+  struct alignas(64) WorkerSlot {
+    SpinLock ctx_lock;
+    Ctx* ctx_head = nullptr;
+  };
+
+  void register_ctx(Ctx* c) {
+    unsigned idx = pool_.current_index();
+    WorkerSlot& s = slots_[idx];
+    c->home_slot_ = idx;
+    std::lock_guard<SpinLock> g(s.ctx_lock);
+    c->reg_prev_ = nullptr;
+    c->reg_next_ = s.ctx_head;
+    if (s.ctx_head != nullptr) {
+      s.ctx_head->reg_prev_ = c;
+    }
+    s.ctx_head = c;
+  }
+  void deregister_ctx(Ctx* c) {
+    WorkerSlot& s = slots_[c->home_slot_];
+    std::lock_guard<SpinLock> g(s.ctx_lock);
+    if (c->reg_prev_ != nullptr) {
+      c->reg_prev_->reg_next_ = c->reg_next_;
+    } else {
+      s.ctx_head = c->reg_next_;
+    }
+    if (c->reg_next_ != nullptr) {
+      c->reg_next_->reg_prev_ = c->reg_prev_;
+    }
+  }
+
+  std::size_t effective_internal_threshold() const {
+    return opts_.gc_stress ? 1 : opts_.gc_internal_threshold;
+  }
+
+  // fork2's gated slow paths, kept out of line so the disabled-default
+  // fork2 stays compact (the fork row is a measured baseline).
+  //
+  // Entry -- fork2 is a safepoint of the forking task (no raw Object*
+  // is held across it by contract), and the parent then leaves the
+  // running set FIRST: a pending internal collection must never wait
+  // on a task that is blocked in fork2 rather than parked. Its heap --
+  // now internal -- and frames stay registered (and scanned) through
+  // its Ctx for the whole join.
+  __attribute__((noinline)) void fork_enter_safepoint() {
+    safepoint();
+    gate_.deactivate(pool_.current_index());
+  }
+  // Exit -- reactivating blocks while a stop is pending, so the
+  // join-time merges can never race an internal collection: a new stop
+  // cannot reach its copying phase until this task parks or
+  // deactivates.
+  __attribute__((noinline)) void fork_exit_reactivate() {
+    gate_.activate(pool_.current_index());
+  }
+
+  // Promotion-path doorbell (the promoter may hold raw pointers, so
+  // never collect here): remember that some heap crossed the
+  // threshold; the next safepoint anyone reaches drives the cycle.
+  void note_internal_pressure(Heap* h) {
+    std::size_t thr = effective_internal_threshold();
+    if (thr != 0 && h->remote_bytes() >= thr) {
+      internal_doorbell_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  // Safepoint poll (allocation slow paths, fork2 boundaries): park
+  // through someone else's pending stop, or drive a requested internal
+  // collection ourselves.
+  void safepoint() {
+    if (opts_.gc_stress) {
+      internal_doorbell_.store(true, std::memory_order_relaxed);
+    }
+    if (gate_.pending()) {
+      gate_.park();
+      return;
+    }
+    if (internal_doorbell_.load(std::memory_order_relaxed)) {
+      drive_internal_gc(/*forced=*/false);
+    }
+  }
+
+  // Pre-stop peek, racing running mutators: may only read atomics (the
+  // authoritative victim scan reruns on the stopped world).
+  bool any_internal_victims(std::size_t thr) {
+    for (WorkerSlot& s : slots_) {
+      std::lock_guard<SpinLock> g(s.ctx_lock);
+      for (Ctx* c = s.ctx_head; c != nullptr; c = c->reg_next_) {
+        if (c->heap_->remote_bytes() >= thr) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void drive_internal_gc(bool forced) {
+    std::size_t thr = forced ? 1 : effective_internal_threshold();
+    if (thr == 0) {
+      internal_doorbell_.store(false, std::memory_order_relaxed);
+      return;
+    }
+    if (!forced && !any_internal_victims(thr)) {
+      // Under stress still run a full (victimless) stop periodically so
+      // the pause protocol itself is exercised on pure programs.
+      bool force_stop =
+          opts_.gc_stress &&
+          stress_tick_.fetch_add(1, std::memory_order_relaxed) % 32 == 0;
+      if (!force_stop) {
+        internal_doorbell_.store(false, std::memory_order_relaxed);
+        return;
+      }
+    }
+    if (!gate_.begin_stop()) {
+      return;  // parked through another driver's stop instead
+    }
+    internal_doorbell_.store(false, std::memory_order_relaxed);
+    collect_internal_victims(thr);
+    gate_.end_stop();
+  }
+
+  void snapshot_registry(std::vector<Ctx*>* ctxs, std::vector<Heap*>* heaps) {
+    for (WorkerSlot& s : slots_) {
+      std::lock_guard<SpinLock> g(s.ctx_lock);
+      for (Ctx* c = s.ctx_head; c != nullptr; c = c->reg_next_) {
+        ctxs->push_back(c);
+        heaps->push_back(c->heap_);
+      }
+    }
+  }
+
+  // Collect one heap on the already-stopped world, rooting from EVERY
+  // task's frames plus descendant fields/forwarding words, with the
+  // sequential or team evacuator per gc_parallel_team. `bill_internal`
+  // adds the internal_gc_* pair on top of the ordinary gc_* counters.
+  // Returns live bytes evacuated.
+  std::size_t stopped_collect_heap(Heap* h, const std::vector<Ctx*>& ctxs,
+                                   const std::vector<Heap*>& heaps,
+                                   bool bill_internal) {
+    auto frame_roots = [&ctxs](auto&& fn) {
+      for (Ctx* c : ctxs) {
+        for (RootFrame* f = c->frames_; f != nullptr; f = f->prev()) {
+          f->for_each_slot(fn);
+        }
+      }
+    };
+    std::size_t live;
+    if (opts_.gc_parallel_team > 1) {
+      core::ParallelGcOutcome out = internal_gc_collect_parallel(
+          chunks_, h, heaps, opts_.gc_parallel_team, frame_roots);
+      live = out.totals.bytes_copied;
+      stats_.gc_count.fetch_add(1, std::memory_order_relaxed);
+      stats_.gc_bytes_copied.fetch_add(live, std::memory_order_relaxed);
+      stats_.gc_ns.fetch_add(out.totals.busy_ns, std::memory_order_relaxed);
+      if (bill_internal) {
+        stats_.internal_gc_count.fetch_add(1, std::memory_order_relaxed);
+        stats_.internal_gc_bytes.fetch_add(live, std::memory_order_relaxed);
+      }
+    } else if (bill_internal) {
+      live = internal_gc_collect(h, heaps, &stats_, frame_roots);
+    } else {
+      live = leaf_gc_collect(h, &stats_, [&](auto&& fn) {
+        detail::internal_gc_emit_roots(h, heaps, frame_roots, fn);
+      });
+    }
+    return live;
+  }
+
+  // Join-time collection of `me`'s just-merged heap on a stopped
+  // world: the same pause an internal cycle uses, but the victim is
+  // fixed and the all-frames roots make results published into
+  // arbitrary ancestor Locals survive. Billed as an ordinary
+  // collection, not an internal one.
+  void stopped_join_collect(Ctx* me) {
+    if (me->heap_->chunks() == nullptr) {
+      return;
+    }
+    if (!gate_.begin_stop()) {
+      return;  // parked through a concurrent stop; the next join retries
+    }
+    std::vector<Ctx*> ctxs;
+    std::vector<Heap*> heaps;
+    snapshot_registry(&ctxs, &heaps);
+    me->rescale_budget(
+        stopped_collect_heap(me->heap_, ctxs, heaps, /*bill_internal=*/false));
+    gate_.end_stop();
+  }
+
+  // The world is stopped: every other member of the running set is
+  // parked at a safepoint (holding no raw pointers, by the alloc/fork2
+  // contract) and tasks blocked in fork2 are deactivated, so heaps,
+  // frames and the registry are all frozen and safe to walk.
+  void collect_internal_victims(std::size_t thr) {
+    std::vector<Ctx*> ctxs;
+    std::vector<Heap*> heaps;
+    snapshot_registry(&ctxs, &heaps);
+    std::vector<Heap*> victims;
+    for (Heap* h : heaps) {
+      if (h->remote_bytes() >= thr && h->chunks() != nullptr) {
+        victims.push_back(h);
+      }
+    }
+    // Deepest first, so a shallower victim's descendant scan sees the
+    // deeper victims' graphs already settled.
+    std::sort(victims.begin(), victims.end(),
+              [](Heap* a, Heap* b) { return a->depth() > b->depth(); });
+    for (Heap* h : victims) {
+      stopped_collect_heap(h, ctxs, heaps, /*bill_internal=*/true);
+    }
+  }
+
   Options opts_;
+  bool sp_enabled_ = false;  // internal collection or GC-stress on
   ChunkPool chunks_;
   StatsCell stats_;
   WorkStealPool pool_;
+  SafepointGate gate_;             // pause/resume of the running set
+  std::vector<WorkerSlot> slots_;  // per-worker ctx registries
+  std::atomic<bool> internal_doorbell_{false};
+  std::atomic<std::uint64_t> stress_tick_{0};
 };
 
 static_assert(RuntimeLike<HierRuntime>);

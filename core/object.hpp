@@ -72,6 +72,15 @@ class Object {
   void store_i64_plain(std::uint32_t i, std::int64_t v) { set_scalar(i, v); }
   void store_ptr_plain(std::uint32_t i, Object* v) { set_ptr_relaxed(i, v); }
 
+  // The forwarding word aliased as a plain pointer slot, so collectors
+  // can treat stale promotion-forwarding edges as roots (a stale copy
+  // whose master lives in a heap under collection keeps that master
+  // alive, and the slot must be rewritten when the master moves).
+  // std::atomic<Object*> has the representation of Object* on every
+  // supported ABI (asserted below); the slot is only handed out while
+  // the mutators that could touch this word are stopped.
+  Object** fwd_slot() { return reinterpret_cast<Object**>(&fwd_); }
+
   Object* fwd_acquire() const { return fwd_.load(std::memory_order_acquire); }
   Object* fwd_relaxed() const { return fwd_.load(std::memory_order_relaxed); }
   void set_fwd(Object* f, std::memory_order mo = std::memory_order_release) {
@@ -86,8 +95,11 @@ class Object {
 
   // Follow the forwarding chain to the master copy. One predictable
   // not-taken branch for unpromoted objects; spins past in-flight
-  // fine-grained claims.
-  static Object* chase(Object* o) {
+  // fine-grained claims. Force-inlined: this IS the mutable-barrier
+  // fast path, and once the runtime translation unit grew past the
+  // inliner's unit-growth budget gcc started outlining it, tripling
+  // the fig08 barrier rows.
+  [[gnu::always_inline]] static inline Object* chase(Object* o) {
     Object* f = o->fwd_.load(std::memory_order_acquire);
     while (f != nullptr) {
       if (f == busy_sentinel()) {
@@ -117,6 +129,9 @@ class Object {
 
 static_assert(sizeof(Object) == Object::kHeaderBytes,
               "object header must be exactly two words");
+static_assert(sizeof(std::atomic<Object*>) == sizeof(Object*) &&
+                  alignof(std::atomic<Object*>) == alignof(Object*),
+              "fwd_slot() aliases the atomic forwarding word as Object*");
 
 // Footprint of an object with `nptr` pointer and `nscalar` i64 fields
 // -- what raw allocators (HeapRecord::allocate_raw) must reserve.

@@ -180,12 +180,16 @@ inline void promote_and_store(Object* dst_obj, std::uint32_t idx, Object* v,
       }
       res = detail::promote_coarse_locked(v, dst_heap);
       d->set_ptr(idx, res.master);
+      // Feed the internal-collection policy: this heap just grew by
+      // remotely promoted bytes its owner never allocated.
+      dst_heap->note_remote_bytes(res.bytes);
       break;
     }
   } else {
     Heap* dst_heap = heap_of(Object::chase(dst_obj));
     res = detail::promote_fine(v, dst_heap, stats);
     Object::chase(dst_obj)->set_ptr(idx, res.master);
+    dst_heap->note_remote_bytes(res.bytes);
   }
   stats->promoted_objects.fetch_add(res.objects, std::memory_order_relaxed);
   stats->promoted_bytes.fetch_add(res.bytes, std::memory_order_relaxed);

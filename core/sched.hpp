@@ -198,4 +198,112 @@ class WorkStealPool {
   std::condition_variable sleep_cv_;
 };
 
+// Cooperative pause/resume gate for runtimes that must occasionally
+// quiesce every running task (hierarchy-aware internal-heap collection;
+// the same protocol StwRuntime inlines for its stop-the-world cycles):
+//
+//   - Tasks enter/leave the running set with activate()/deactivate(),
+//     one seq_cst RMW on their own worker's cache line plus a flag
+//     check, Dekker-paired with the stopper's flag-store/count-read.
+//     Entering blocks while a stop is pending.
+//   - Running tasks poll pending() at their safepoints (allocation slow
+//     paths, fork/join boundaries) and park() through a pending stop.
+//   - A stopper calls begin_stop(); once it returns true, every other
+//     member of the running set is parked at a safepoint and stays
+//     parked until end_stop(). A false return means another stop was
+//     already pending and the caller was parked through it instead.
+//
+// Progress is cooperative: an activated task that neither reaches a
+// safepoint nor deactivates stalls a pending stop (the same contract as
+// the STW runtime's pause).
+class SafepointGate {
+ public:
+  explicit SafepointGate(unsigned workers) : slots_(workers) {}
+  SafepointGate(const SafepointGate&) = delete;
+  SafepointGate& operator=(const SafepointGate&) = delete;
+
+  void activate(unsigned worker) {
+    std::atomic<int>& cnt = slots_[worker].active;
+    for (;;) {
+      cnt.fetch_add(1, std::memory_order_seq_cst);
+      if (__builtin_expect(!stop_flag_.load(std::memory_order_seq_cst), 1)) {
+        return;
+      }
+      // A stop is pending: back out (waking its driver, which may be
+      // waiting on the running count) and sit it out.
+      std::unique_lock<std::mutex> lk(mu_);
+      cnt.fetch_sub(1, std::memory_order_seq_cst);
+      pause_cv_.notify_all();
+      done_cv_.wait(lk, [&] { return !stop_pending_; });
+    }
+  }
+
+  void deactivate(unsigned worker) {
+    slots_[worker].active.fetch_sub(1, std::memory_order_seq_cst);
+    if (__builtin_expect(stop_flag_.load(std::memory_order_seq_cst), 0)) {
+      std::lock_guard<std::mutex> g(mu_);
+      pause_cv_.notify_all();  // a stopper may be waiting on the count
+    }
+  }
+
+  // Cheap safepoint poll.
+  bool pending() const {
+    return stop_flag_.load(std::memory_order_acquire);
+  }
+
+  // Park at a safepoint until the pending stop (if any) finishes. The
+  // caller stays a member of the running set while parked.
+  void park() {
+    std::unique_lock<std::mutex> lk(mu_);
+    wait_out(lk);
+  }
+
+  bool begin_stop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_pending_) {
+      wait_out(lk);
+      return false;
+    }
+    stop_pending_ = true;
+    stop_flag_.store(true, std::memory_order_seq_cst);
+    pause_cv_.wait(lk, [&] { return paused_ == running() - 1; });
+    return true;
+  }
+
+  void end_stop() {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_pending_ = false;
+    stop_flag_.store(false, std::memory_order_seq_cst);
+    done_cv_.notify_all();
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int> active{0};
+  };
+
+  unsigned running() const {
+    long n = 0;
+    for (const Slot& s : slots_) {
+      n += s.active.load(std::memory_order_seq_cst);
+    }
+    return static_cast<unsigned>(n);
+  }
+
+  void wait_out(std::unique_lock<std::mutex>& lk) {
+    ++paused_;
+    pause_cv_.notify_all();
+    done_cv_.wait(lk, [&] { return !stop_pending_; });
+    --paused_;
+  }
+
+  std::vector<Slot> slots_;           // per-worker running-set counts
+  std::mutex mu_;                     // stop paths only
+  std::condition_variable pause_cv_;  // parked / left the running set
+  std::condition_variable done_cv_;   // stop finished
+  unsigned paused_ = 0;               // guarded by mu_
+  bool stop_pending_ = false;         // guarded by mu_
+  std::atomic<bool> stop_flag_{false};  // lock-free mirror of stop_pending_
+};
+
 }  // namespace parmem

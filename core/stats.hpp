@@ -27,6 +27,12 @@ struct Stats {
   std::uint64_t gc_bytes_copied = 0;   // live bytes evacuated by GC
   std::uint64_t gc_ns = 0;             // GC time; STW adds stopped workers
   std::uint64_t forks = 0;             // fork2 calls
+  // Hierarchy-aware internal-heap collections (core/gc_internal.hpp).
+  // These are billed to the runtime that owns the collected heap and are
+  // ALSO counted in gc_count / gc_bytes_copied / gc_ns above (an internal
+  // collection is a collection); the internal_* pair isolates them.
+  std::uint64_t internal_gc_count = 0;
+  std::uint64_t internal_gc_bytes = 0;  // live bytes evacuated internally
 
   Stats operator-(const Stats& o) const {
     Stats d;
@@ -38,6 +44,8 @@ struct Stats {
     d.gc_bytes_copied = gc_bytes_copied - o.gc_bytes_copied;
     d.gc_ns = gc_ns - o.gc_ns;
     d.forks = forks - o.forks;
+    d.internal_gc_count = internal_gc_count - o.internal_gc_count;
+    d.internal_gc_bytes = internal_gc_bytes - o.internal_gc_bytes;
     return d;
   }
 };
@@ -52,6 +60,8 @@ struct StatsCell {
   std::atomic<std::uint64_t> gc_bytes_copied{0};
   std::atomic<std::uint64_t> gc_ns{0};
   std::atomic<std::uint64_t> forks{0};
+  std::atomic<std::uint64_t> internal_gc_count{0};
+  std::atomic<std::uint64_t> internal_gc_bytes{0};
 
   Stats snapshot() const {
     Stats s;
@@ -64,6 +74,8 @@ struct StatsCell {
     s.gc_bytes_copied = gc_bytes_copied.load(std::memory_order_relaxed);
     s.gc_ns = gc_ns.load(std::memory_order_relaxed);
     s.forks = forks.load(std::memory_order_relaxed);
+    s.internal_gc_count = internal_gc_count.load(std::memory_order_relaxed);
+    s.internal_gc_bytes = internal_gc_bytes.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -7,6 +7,8 @@
 #                                                stw / localheap / hier)
 #   ablation_parallel_gc -> BENCH_parallel_gc.txt (team-scaling + join-time
 #                                                policy tables)
+#   ablation_internal_gc -> BENCH_internal_gc.txt (internal-heap collection
+#                                                policy sweep + controls)
 #
 # Usage: scripts/run_bench.sh [--quick] [--bench=FILTER]
 #   --quick          smoke mode: short min-time / tiny sizes, for CI.
@@ -31,7 +33,8 @@ done
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
-  --target micro_ops fig08_op_costs fig10_pure ablation_parallel_gc >/dev/null
+  --target micro_ops fig08_op_costs fig10_pure ablation_parallel_gc \
+           ablation_internal_gc >/dev/null
 
 # A filtered run is a subset: never let it overwrite the committed
 # baselines that later perf PRs (and CI's asserts) diff against.
@@ -92,10 +95,25 @@ if [ -z "$FILTER" ]; then
     | tee "$OUT_DIR/BENCH_parallel_gc.txt"
 fi
 
+# Internal-heap collection baseline: policy sweep over the promoting
+# imperative kernels plus the zero-promotion controls. Kernel set is
+# fixed, so a --bench filter skips it like the parallel_gc section.
+if [ -z "$FILTER" ]; then
+  IGC_ARGS=("--procs=2")
+  if [ "$QUICK" -eq 1 ]; then
+    IGC_ARGS+=("--quick")
+  else
+    IGC_ARGS+=("--scale=0.25" "--runs=3")
+  fi
+  "$BUILD/ablation_internal_gc" "${IGC_ARGS[@]}" \
+    | tee "$OUT_DIR/BENCH_internal_gc.txt"
+fi
+
 echo
 echo "results written: $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_fig08.txt," \
      "$OUT_DIR/BENCH_runtimes.json" \
-     "${FILTER:+(parallel_gc section skipped under --bench)}"
+     "${FILTER:+(parallel_gc + internal_gc sections skipped under --bench)}"
 if [ -z "$FILTER" ]; then
-  echo "                 + $OUT_DIR/BENCH_parallel_gc.txt"
+  echo "                 + $OUT_DIR/BENCH_parallel_gc.txt," \
+       "$OUT_DIR/BENCH_internal_gc.txt"
 fi

@@ -97,6 +97,78 @@ PARMEM_TEST(gc_shortcuts_stale_promoted_roots) {
   });
 }
 
+// Regression (small-leaf fix must survive collections): collect_now on
+// an empty heap is a true no-op -- no gc_count churn -- and a
+// collection that finds nothing alive must not reset the heap's
+// chunk-doubling schedule back to the 4 KiB leaf start.
+PARMEM_TEST(gc_empty_collection_noop_keeps_chunk_doubling) {
+  HierRuntime rt;
+  rt.run([&rt](Ctx& ctx) {
+    // Fresh heap, no chunks: nothing to do, nothing billed.
+    ctx.collect_now();
+    CHECK_EQ(rt.stats().gc_count, 0u);
+
+    // Grow the doubling schedule well past the 4 KiB start...
+    for (int i = 0; i < 40; ++i) {
+      Object* junk = ctx.alloc(0, 360);  // ~2.9 KiB each
+      Ctx::init_i64(junk, 0, i);
+    }
+    Heap* heap = ctx.leaf_heap();
+    std::size_t hint = heap->chunk_size_hint();
+    CHECK(hint > kMinChunkBytes);
+
+    // ...collect with everything dead (nothing rooted): zero bytes
+    // copied, all chunks released, schedule untouched.
+    ctx.collect_now();
+    CHECK_EQ(rt.stats().gc_count, 1u);
+    CHECK_EQ(heap->chunk_size_hint(), hint);
+    CHECK(heap->chunks() == nullptr);
+
+    // The now-empty heap: another collect_now is a no-op again.
+    ctx.collect_now();
+    CHECK_EQ(rt.stats().gc_count, 1u);
+
+    // And the next allocation opens a chunk at the preserved step, not
+    // back at 4 KiB.
+    Object* o = ctx.alloc(0, 1);
+    Ctx::init_i64(o, 0, 1);
+    CHECK_EQ(heap->tail()->bytes, hint);
+    return 0;
+  });
+}
+
+// Same no-op guarantee for an all-promoted child leaf: after its
+// objects move up, collection copies nothing and the doubling schedule
+// survives into the leaf's next allocations.
+PARMEM_TEST(gc_all_promoted_collection_keeps_chunk_doubling) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  HierRuntime rt(opts);
+  rt.run([&rt](Ctx& ctx) {
+    RootFrame frame(ctx);
+    Local box = frame.local(ctx.alloc(1, 0));
+    HierRuntime::fork2(
+        ctx, {box},
+        [box, &rt](Ctx& c) {
+          for (int i = 0; i < 6; ++i) {
+            Object* node = c.alloc(0, 360);
+            Ctx::init_i64(node, 0, i);
+            c.write_ptr(box.get(), 0, node);  // promote; stale remains
+          }
+          Heap* heap = c.leaf_heap();
+          std::size_t hint = heap->chunk_size_hint();
+          std::uint64_t copied_before = rt.stats().gc_bytes_copied;
+          c.collect_now();  // every original is a dead stale copy
+          CHECK_EQ(rt.stats().gc_bytes_copied, copied_before);
+          CHECK_EQ(heap->chunk_size_hint(), hint);
+          CHECK_EQ(c.read_i64_mut(Ctx::read_ptr(box.get(), 0), 0), 5);
+          return std::int64_t{0};
+        },
+        [](Ctx&) { return std::int64_t{0}; });
+    return 0;
+  });
+}
+
 PARMEM_TEST(gc_join_threshold_collects_merged_subtree) {
   HierRuntime::Options opts;
   opts.workers = 2;

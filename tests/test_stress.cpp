@@ -114,6 +114,23 @@ std::int64_t stress_on(unsigned workers, const StressCfg& cfg,
   return sum;
 }
 
+// Hier with internal-heap collection dialed to its most aggressive
+// (collect any promoted-into heap at the next safepoint), plus the
+// full GC-stress mode on top.
+std::int64_t stress_on_hier_internal(unsigned workers, const StressCfg& cfg,
+                                     bool full_stress, Stats* stats_out) {
+  HierRuntime::Options o;
+  o.workers = workers;
+  o.gc_internal_threshold = 1;
+  o.gc_stress = full_stress;
+  HierRuntime rt(o);
+  std::int64_t sum = stress_run(rt, cfg);
+  if (stats_out != nullptr) {
+    *stats_out = rt.stats();
+  }
+  return sum;
+}
+
 // Pure configurations (no escaping writes): every runtime must agree
 // with seq, and the hierarchical runtime must promote NOTHING -- all
 // leaf allocations flow up by join-time merges alone.
@@ -158,6 +175,53 @@ PARMEM_TEST(stress_escaping_fork_trees_parity) {
         }
         CHECK_EQ(stress_on<StwRuntime>(w, cfg), ref);
         CHECK_EQ(stress_on<LhRuntime>(w, cfg), ref);
+      }
+    }
+  }
+}
+
+// Internal-collection arm: the same randomized fork trees with
+// hierarchy-aware internal collection at threshold 1 (every promotion
+// makes its target heap a victim of the next safepoint) and, in the
+// second flavour, full GC-stress on top. Parity with the sequential
+// baseline must hold through mid-tree relocations of busy internal
+// heaps; pure shapes must still promote nothing even though their
+// heaps are being collected; and escaping shapes must actually have
+// exercised the internal collector.
+PARMEM_TEST(stress_internal_collection_fork_trees) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    // Pure shapes: no escapes, so no promotions and no internal-GC
+    // victims -- but GC-stress still pauses and collects constantly.
+    {
+      StressCfg cfg;
+      cfg.seed = seed * 0x9E3779B97F4A7C15ull;
+      cfg.depth = 6;
+      cfg.escape_pct = 0;
+      const std::int64_t ref = stress_on<SeqRuntime>(1, cfg);
+      for (unsigned w : {1u, 2u}) {
+        for (bool full : {false, true}) {
+          Stats hs;
+          CHECK_EQ(stress_on_hier_internal(w, cfg, full, &hs), ref);
+          CHECK_EQ(hs.promotions, 0u);
+          CHECK_EQ(hs.promoted_bytes, 0u);
+        }
+      }
+    }
+    // Escaping shapes: every leaf writes into the root sink, so the
+    // sink's heap keeps becoming a victim while the root is busy.
+    {
+      StressCfg cfg;
+      cfg.seed = seed * 0xD1B54A32D192ED03ull;
+      cfg.depth = 6;
+      cfg.escape_pct = 100;
+      const std::int64_t ref = stress_on<SeqRuntime>(1, cfg);
+      for (unsigned w : {1u, 2u}) {
+        for (bool full : {false, true}) {
+          Stats hs;
+          CHECK_EQ(stress_on_hier_internal(w, cfg, full, &hs), ref);
+          CHECK(hs.promotions > 0);
+          CHECK(hs.internal_gc_count > 0);
+        }
       }
     }
   }
