@@ -1,0 +1,206 @@
+// Ablation: bounded-memory operation (heap budgets + fault injection).
+//
+// For every paper kernel on the hierarchical runtime: measure the
+// unbudgeted peak, then re-run under hard budgets of {1.25, 1.0, 0.75,
+// 0.5} x peak. Each budgeted run ends in exactly one of two states --
+// the unbudgeted checksum (the emergency-collection cascade absorbed
+// the squeeze) or a clean typed parmem::OutOfMemory -- and the table
+// is the degradation curve: how far below its natural peak each kernel
+// can be squeezed before it stops fitting.
+//
+// A second section sweeps deterministic allocation faults
+// (chunk_alloc=fail@N for growing N, plus an all-sites probabilistic
+// spec) across all four runtimes on a promoting kernel: every outcome
+// must again be checksum-exact or clean OOM.
+//
+// Exit status is the differential guarantee: 1 on any silent
+// corruption (run completed, checksum wrong) or non-OutOfMemory
+// escape; 0 otherwise. The CI oom-sweep row runs this under ASan.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <type_traits>
+
+#include "bench_common/harness.hpp"
+#include "bench_common/workloads.hpp"
+#include "core/failpoint.hpp"
+#include "core/hier_runtime.hpp"
+#include "runtimes/localheap_runtime.hpp"
+#include "runtimes/seq_runtime.hpp"
+#include "runtimes/stw_runtime.hpp"
+
+namespace {
+
+using namespace parmem;
+using namespace parmem::bench;
+
+template <class RT>
+struct Kernel {
+  const char* name;
+  KernelOut (*fn)(RT&, const Sizes&);
+};
+
+#define PARMEM_OOM_KERNELS(RT)                           \
+  {                                                      \
+    {"fib", &bench_fib<RT>},                             \
+    {"tabulate", &bench_tabulate<RT>},                   \
+    {"map", &bench_map<RT>},                             \
+    {"reduce", &bench_reduce<RT>},                       \
+    {"filter", &bench_filter<RT>},                       \
+    {"msort-pure", &bench_msort_pure<RT>},               \
+    {"dmm", &bench_dmm<RT>},                             \
+    {"smvm", &bench_smvm<RT>},                           \
+    {"msort", &bench_msort<RT>},                         \
+    {"usp", &bench_usp<RT>},                             \
+    {"usp-tree", &bench_usp_tree<RT>},                   \
+    {"multi-usp-tree", &bench_multi_usp_tree<RT>},       \
+    {"strassen", &bench_strassen<RT>},                   \
+    {"raytracer", &bench_raytracer<RT>},                 \
+    {"dedup", &bench_dedup<RT>},                         \
+    {"tourney", &bench_tourney<RT>},                     \
+    {"reachability", &bench_reachability<RT>},           \
+  }
+
+// One budgeted/faulted run. Outcome is one of "ok" (correct checksum),
+// "oom" (clean typed OutOfMemory), or a failure label that flips the
+// process exit status.
+struct Outcome {
+  const char* label;
+  double seconds = 0.0;
+  std::size_t peak = 0;
+  std::uint64_t emergency_gcs = 0;
+  bool bad = false;
+};
+
+template <class RT>
+Outcome run_bounded(KernelOut (*fn)(RT&, const Sizes&), const Sizes& z,
+                    unsigned workers, std::size_t budget,
+                    const std::string& faults, std::int64_t ref) {
+  Outcome o;
+  typename RT::Options ro;
+  ro.workers = workers;
+  ro.heap_budget_bytes = budget;
+  ro.failpoints = faults;
+  RT rt(ro);
+  Timer t;
+  try {
+    std::int64_t sum = fn(rt, z).checksum;
+    o.label = sum == ref ? "ok" : "CORRUPT";
+    o.bad = sum != ref;
+  } catch (const OutOfMemory&) {
+    o.label = "oom";
+  } catch (...) {
+    o.label = "ESCAPED";  // wrong exception type crossed the API
+    o.bad = true;
+  }
+  o.seconds = t.seconds();
+  o.peak = rt.peak_bytes();
+  o.emergency_gcs = rt.stats().emergency_gcs;
+  failpoint::Registry::instance().reset();
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse_options(argc, argv);
+  const unsigned procs = opt.procs;
+  const Sizes z = opt.sizes;
+
+  bool all_ok = true;
+  int oom_runs = 0;
+  int recovered = 0;  // completed with emergency_gcs > 0
+
+  // ---- degradation curve: hier, budgets as fractions of own peak ----
+  const Kernel<HierRuntime> hier_kernels[] = PARMEM_OOM_KERNELS(HierRuntime);
+  const double fracs[] = {1.25, 1.0, 0.75, 0.5};
+
+  std::printf(
+      "Ablation: bounded-memory operation, P=%u\n"
+      "(budgets are fractions of each kernel's own unbudgeted peak;\n"
+      " every cell must be a correct checksum or a clean OutOfMemory)\n\n",
+      procs);
+  std::printf("%-15s %9s | %s\n", "kernel", "peakMB",
+              "x1.25      x1.00      x0.75      x0.50");
+  print_rule(72);
+
+  for (const Kernel<HierRuntime>& k : hier_kernels) {
+    std::int64_t ref;
+    std::size_t peak;
+    {
+      HierRuntime::Options ro;
+      ro.workers = procs;
+      HierRuntime rt(ro);
+      const Measurement m = measure(rt, z, opt.runs, k.fn);
+      ref = m.checksum;
+      peak = m.peak_bytes;
+    }
+    std::printf("%-15s %9s |", k.name, fmt_mb(peak).c_str());
+    for (double f : fracs) {
+      std::size_t budget =
+          static_cast<std::size_t>(static_cast<double>(peak) * f);
+      Outcome o = run_bounded<HierRuntime>(k.fn, z, procs, budget, "", ref);
+      all_ok = all_ok && !o.bad;
+      oom_runs += std::string(o.label) == "oom";
+      if (std::string(o.label) == "ok" && o.emergency_gcs > 0) {
+        ++recovered;
+      }
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%s/%llu", o.label,
+                    static_cast<unsigned long long>(o.emergency_gcs));
+      std::printf(" %10s", cell);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  print_rule(72);
+  std::printf("(cells are outcome/emergency-collections)\n\n");
+
+  // ---- fault sweep: all four runtimes, a promoting kernel ----
+  std::printf("Fault sweep: usp-tree under injected allocation faults\n\n");
+  std::printf("%-10s %-44s %8s %8s\n", "runtime", "faults", "outcome",
+              "egcs");
+  print_rule(74);
+
+  const char* sweeps[] = {
+      "chunk_alloc=fail@1",
+      "chunk_alloc=fail@8",
+      "chunk_alloc=fail@64",
+      "chunk_alloc=every(16)",
+      "chunk_alloc=prob(0.05,7);packet_alloc=prob(0.2,11);"
+      "promote_copy=prob(0.02,13)",
+  };
+  SeqRuntime plain;
+  const std::int64_t ref = bench_usp_tree(plain, z).checksum;
+  auto sweep_runtime = [&](const char* name, auto* tag) {
+    using RT = std::remove_pointer_t<decltype(tag)>;
+    for (const char* spec : sweeps) {
+      Outcome o = run_bounded<RT>(&bench_usp_tree<RT>, z, procs, 0, spec, ref);
+      all_ok = all_ok && !o.bad;
+      oom_runs += std::string(o.label) == "oom";
+      if (std::string(o.label) == "ok" && o.emergency_gcs > 0) {
+        ++recovered;
+      }
+      std::printf("%-10s %-44s %8s %8llu\n", name, spec, o.label,
+                  static_cast<unsigned long long>(o.emergency_gcs));
+      std::fflush(stdout);
+    }
+  };
+  sweep_runtime("seq", static_cast<SeqRuntime*>(nullptr));
+  sweep_runtime("stw", static_cast<StwRuntime*>(nullptr));
+  sweep_runtime("localheap", static_cast<LhRuntime*>(nullptr));
+  sweep_runtime("hier", static_cast<HierRuntime*>(nullptr));
+  print_rule(74);
+
+  std::printf(
+      "\nbounded-memory guarantee: %s\n"
+      "clean OutOfMemory outcomes: %d\n"
+      "runs recovered by the emergency cascade: %d\n"
+      "expected shape: x1.25 rows complete without emergency\n"
+      "collections; tighter budgets either fit after emergency\n"
+      "collection (ok/N with N>0) or refuse cleanly (oom); one-shot\n"
+      "chunk faults always recover via the cascade; every(16) and the\n"
+      "probabilistic spec may refuse but never corrupt\n",
+      all_ok ? "HELD" : "VIOLATED", oom_runs, recovered);
+  return all_ok ? 0 : 1;
+}

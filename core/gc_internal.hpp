@@ -29,6 +29,12 @@
 // Scanning every descendant object treats descendants as fully live --
 // conservative (descendant garbage retains what it references in H)
 // but sound; descendant leaves have their own leaf collections.
+//
+// Allocation faults: both underlying collectors run in collector
+// context (core/failpoint.hpp GcAllocScope), so heap budgets and
+// injected faults never fire inside an internal collection -- which is
+// what lets the emergency cascade run collections to RECOVER from a
+// budget hit without tripping over it again.
 #pragma once
 
 #include <cassert>

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "core/failpoint.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
 #include "core/stats.hpp"
@@ -33,6 +34,11 @@ std::size_t leaf_gc_collect(Heap* heap, StatsCell* stats,
     return 0;
   }
   auto t0 = std::chrono::steady_clock::now();
+
+  // To-space copies are collector-context allocations: exempt from the
+  // heap budget and injected faults (a Cheney scan cannot unwind once
+  // from-space is detached), and bounded by live data anyway.
+  failpoint::GcAllocScope gc_scope;
 
   Chunk* from = heap->detach_chunks();
   for (Chunk* c = from; c != nullptr; c = c->next) {

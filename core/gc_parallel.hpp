@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
 
@@ -133,6 +134,8 @@ struct ParallelGcOutcome {
 };
 
 class ParallelCollector {
+  struct Worker;  // defined below; named in member signatures above it
+
  public:
   ParallelCollector(ChunkPool& pool, std::vector<Heap*> heaps,
                     ParallelGcOptions opts)
@@ -181,7 +184,7 @@ class ParallelCollector {
     for (std::thread& t : team) {
       t.join();
     }
-    return finish();
+    return finish();  // rethrows any worker's allocation failure
   }
 
   // Split surface for runtimes that bring their own team: the driver
@@ -214,15 +217,47 @@ class ParallelCollector {
     state_.store(0, std::memory_order_relaxed);
     root_cursor_.store(0, std::memory_order_relaxed);
     exited_.store(0, std::memory_order_relaxed);
+    aborted_.store(false, std::memory_order_relaxed);
+    abort_err_ = nullptr;
   }
 
+  // Never throws: an allocation failure mid-evacuation (only possible
+  // when the OS itself refuses memory -- the budget and injected
+  // faults are exempt in collector context) aborts the whole team via
+  // aborted_, and finish() rethrows it. That guarantees no hang and no
+  // stranded kBusy word even then; the collected heaps are lost, so
+  // the caller must treat the rethrow as fatal for the computation.
   void run_worker(unsigned slot) {
+    failpoint::GcAllocScope gc_scope;
     Worker& ws = *workers_[slot];
     auto w0 = std::chrono::steady_clock::now();
+    try {
+      run_worker_impl(ws);
+    } catch (...) {
+      {
+        std::lock_guard<SpinLock> g(abort_lock_);
+        if (!abort_err_) {
+          abort_err_ = std::current_exception();
+        }
+      }
+      aborted_.store(true, std::memory_order_release);
+    }
+    ws.stats.busy_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - w0)
+            .count());
+    exited_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  void run_worker_impl(Worker& ws) {
     // Phase 1: forward the roots, batch-claimed off a shared cursor.
     // Claims make duplicate and cross-worker aliases idempotent.
     const std::size_t nroots = roots_.size();
     for (;;) {
+      if (aborted_.load(std::memory_order_acquire)) {
+        return;
+      }
       std::size_t i = root_cursor_.fetch_add(kRootBatch,
                                              std::memory_order_relaxed);
       if (i >= nroots) {
@@ -245,9 +280,21 @@ class ParallelCollector {
     }
     // Phase 2: drain grey packets until the whole team is idle with
     // nothing queued. A worker only goes idle with empty hands (its
-    // partial open packet drained), so idle==team && queued==0 is a
-    // stable no-work-exists state.
+    // partial open packet drained, its private overflow list empty),
+    // so idle==team && queued==0 is a stable no-work-exists state.
     for (;;) {
+      if (aborted_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (!ws.overflow.empty()) {
+        // Degraded mode (packet allocation failed): scan one object
+        // off the private overflow list. Worker-private, so it needs
+        // no queued accounting and cannot be stolen.
+        Object* o = ws.overflow.back();
+        ws.overflow.pop_back();
+        scan_object(ws, o);
+        continue;
+      }
       Packet* p = pop_local(ws);
       if (p == nullptr && ws.open != nullptr && ws.open->count > 0) {
         p = ws.open;
@@ -264,6 +311,10 @@ class ParallelCollector {
           state_.fetch_add(kIdleOne, std::memory_order_acq_rel) + kIdleOne;
       bool done = false;
       for (unsigned spins = 0;; ++spins) {
+        if (aborted_.load(std::memory_order_acquire)) {
+          done = true;  // a teammate failed: terminate without the quorum
+          break;
+        }
         if (queued_of(s) > 0) {
           state_.fetch_sub(kIdleOne, std::memory_order_acq_rel);
           break;  // visible work: rejoin the loop
@@ -283,12 +334,9 @@ class ParallelCollector {
         break;
       }
     }
-    ws.stats.busy_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - w0)
-            .count());
-    exited_.fetch_add(1, std::memory_order_release);
   }
+
+ public:
 
   ParallelGcOutcome finish() {
     // Stragglers are past their last packet; still escalate to yield
@@ -301,6 +349,19 @@ class ParallelCollector {
       } else {
         std::this_thread::yield();
       }
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      // A worker failed (OS-level allocation failure in collector
+      // context). The collected heaps are not reconstructible; keep
+      // every to-space buffer reachable by merging it into the target
+      // (roots already rewritten point there), put from-space back so
+      // nothing leaks, and surface the failure to the caller.
+      Heap* target = heaps_.front();
+      for (auto& w : workers_) {
+        target->merge_from(*w->to);
+      }
+      release_from_space();
+      std::rethrow_exception(abort_err_);
     }
     ParallelGcOutcome out;
     out.per_worker.reserve(workers_.size());
@@ -354,6 +415,7 @@ class ParallelCollector {
     std::unique_ptr<Heap> to;  // private to-space buffer: no contention
     Packet* open = nullptr;    // partial packet being filled
     Packet* free = nullptr;    // recycled packets
+    std::vector<Object*> overflow;  // degraded-mode greys (no packets)
     Deque deque;
     ParallelGcWorkerStats stats;
   };
@@ -387,17 +449,18 @@ class ParallelCollector {
           !collected(c->heap.load(std::memory_order_relaxed))) {
         return p;  // foreign, or already a to-space copy
       }
+      // Pre-reserve the to-space bytes BEFORE claiming: from claim_fwd
+      // to set_fwd nothing may throw, or the kBusy sentinel would
+      // strand and hang every chaser. Any allocation failure surfaces
+      // here, with the object still unclaimed and chaseable. (Object
+      // headers are immutable, so reading the size pre-claim is safe.)
+      ws.to->reserve(Object::size_bytes(p->nptr(), p->nscalar()));
       if (p->claim_fwd()) {
         break;
       }
       ws.stats.claim_conflicts += 1;  // lost: chase the winner's copy
     }
-    // From here to set_fwd the claim must complete: a bad_alloc in
-    // bump_alloc would strand the kBusy sentinel and hang chasers.
-    // Heap exhaustion is fatal throughout this runtime (every
-    // collector allocates its to-space the same way), so that is an
-    // accepted crash-on-OOM, not a recoverable path.
-    Object* n = ws.to->bump_alloc(p->nptr(), p->nscalar());
+    Object* n = ws.to->bump_alloc(p->nptr(), p->nscalar());  // reserved above
     std::size_t payload = 8u * (std::size_t{p->nptr()} + p->nscalar());
     std::memcpy(n->scalars(), p->scalars(), payload);
     p->set_fwd(n);  // release: payload visible before the pointer
@@ -407,23 +470,31 @@ class ParallelCollector {
     return n;
   }
 
+  // Forward every field of one copied object (the per-slot work of
+  // drain, shared with the degraded no-packet path).
+  void scan_object(Worker& ws, Object* o) {
+    std::uint32_t np = o->nptr();
+    Object** fields = o->ptrs();
+    for (std::uint32_t j = 0; j < np; ++j) {
+      if (fields[j] != nullptr) {
+        fields[j] = forward(ws, fields[j]);  // only this worker scans o
+      }
+    }
+  }
+
   void drain(Worker& ws, Packet* p) {
     ws.stats.packets_drained += 1;
     for (std::uint32_t i = 0; i < p->count; ++i) {
-      Object* o = p->slots()[i];
-      std::uint32_t np = o->nptr();
-      Object** fields = o->ptrs();
-      for (std::uint32_t j = 0; j < np; ++j) {
-        if (fields[j] != nullptr) {
-          fields[j] = forward(ws, fields[j]);  // only this worker scans o
-        }
-      }
+      scan_object(ws, p->slots()[i]);
     }
     p->count = 0;
     p->next = ws.free;
     ws.free = p;
   }
 
+  // May return nullptr: the packet_alloc failpoint fired, or malloc
+  // itself refused. Callers degrade to the private overflow list then
+  // -- evacuation completes correctly, just with less steal-able work.
   Packet* take_packet(Worker& ws) {
     if (ws.free != nullptr) {
       Packet* p = ws.free;
@@ -431,10 +502,14 @@ class ParallelCollector {
       p->next = nullptr;
       return p;
     }
+    if (__builtin_expect(
+            failpoint::triggered(failpoint::Site::kPacketAlloc), 0)) {
+      return nullptr;
+    }
     void* mem = std::malloc(sizeof(Packet) +
                             opts_.packet_objects * sizeof(Object*));
     if (mem == nullptr) {
-      throw std::bad_alloc();
+      return nullptr;
     }
     {
       std::lock_guard<SpinLock> g(packet_mem_lock_);
@@ -446,7 +521,24 @@ class ParallelCollector {
   void push_grey(Worker& ws, Object* n) {
     Packet* p = ws.open;
     if (p == nullptr) {
-      ws.open = p = take_packet(ws);
+      p = take_packet(ws);
+      if (p == nullptr) {
+        // Degraded mode: remember the grey privately. If even this
+        // tiny growth fails the machine is truly out of memory; the
+        // typed throw (n is already copied AND published, so its
+        // children would go unscanned) aborts the team via run_worker.
+        try {
+          ws.overflow.push_back(n);
+        } catch (...) {
+          throw OutOfMemory("packet_alloc",
+                            sizeof(Packet) +
+                                opts_.packet_objects * sizeof(Object*),
+                            pool_->live_bytes(), pool_->budget(),
+                            pool_->peak_bytes());
+        }
+        return;
+      }
+      ws.open = p;
     }
     p->slots()[p->count++] = n;
     if (p->count == opts_.packet_objects) {
@@ -514,6 +606,9 @@ class ParallelCollector {
   std::atomic<std::uint64_t> state_{0};  // [queued packets : idle workers]
   std::atomic<std::size_t> root_cursor_{0};
   std::atomic<unsigned> exited_{0};
+  std::atomic<bool> aborted_{false};  // a worker threw; team terminates
+  SpinLock abort_lock_;
+  std::exception_ptr abort_err_;
   SpinLock packet_mem_lock_;
   std::vector<void*> packet_mem_;
   std::chrono::steady_clock::time_point t0_;

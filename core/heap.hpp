@@ -16,6 +16,7 @@
 #include <mutex>
 #include <new>
 
+#include "core/failpoint.hpp"
 #include "core/object.hpp"
 
 namespace parmem {
@@ -77,6 +78,12 @@ class ChunkPool {
   // payload_bytes: object bytes the caller needs to fit in one chunk.
   // size_hint: the heap's current chunk-growth step; grown as needed to
   // fit the payload and clamped to [kMinChunkBytes, kChunkBytes].
+  //
+  // Throws parmem::OutOfMemory when handing out the chunk would push
+  // live_bytes past the budget (or the chunk_alloc failpoint fires, or
+  // the OS refuses the memory). Collector-context allocations
+  // (failpoint::gc_exempt) bypass budget and faults: a mid-evacuation
+  // failure is not unwindable, and to-space is bounded by live data.
   Chunk* acquire(std::size_t payload_bytes,
                  std::size_t size_hint = kChunkBytes) {
     if (payload_bytes <= kChunkPayload) {
@@ -92,6 +99,7 @@ class ChunkPool {
       {
         std::lock_guard<std::mutex> g(mu_);
         if (free_ != nullptr) {
+          check_budget(free_->bytes);  // pooled reuse still counts as live
           Chunk* c = free_;
           free_ = c->next;
           account_live(c->bytes);
@@ -128,7 +136,26 @@ class ChunkPool {
     return peak_bytes_.load(std::memory_order_relaxed);
   }
 
+  // Hard byte budget on handed-out chunks (0 = unlimited). Enforced in
+  // acquire(); the owning runtime catches the resulting OutOfMemory on
+  // its allocation slow path, runs its emergency-collection cascade,
+  // and retries once before letting the exception escape.
+  void set_budget(std::size_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void check_budget(std::size_t incoming) {
+    std::size_t b = budget_.load(std::memory_order_relaxed);
+    if (__builtin_expect(b != 0, 0) && !failpoint::gc_exempt() &&
+        live_bytes_.load(std::memory_order_relaxed) + incoming > b) {
+      throw OutOfMemory("chunk_alloc", incoming, live_bytes(), b,
+                        peak_bytes());
+    }
+  }
   static void reset(Chunk* c) {
     c->heap.store(nullptr, std::memory_order_relaxed);
     c->next = nullptr;
@@ -137,12 +164,23 @@ class ChunkPool {
   }
 
   Chunk* fresh(std::size_t total, bool oversized) {
+    check_budget(total);
+    // gc_exempt checked FIRST: triggered() consumes a hit from the
+    // schedule, and collector-context allocations must not eat the
+    // one-shot a fail@N spec aimed at the mutator.
+    if (__builtin_expect(!failpoint::gc_exempt() &&
+                             failpoint::triggered(failpoint::Site::kChunkAlloc),
+                         0)) {
+      throw OutOfMemory("chunk_alloc", total, live_bytes(), budget(),
+                        peak_bytes());
+    }
     // posix_memalign (not aligned_alloc): small chunks have total <
     // alignment, which aligned_alloc rejects. The alignment is what
     // makes chunk_of()'s address mask work.
     void* mem = nullptr;
     if (posix_memalign(&mem, kChunkBytes, total) != 0) {
-      throw std::bad_alloc();
+      throw OutOfMemory("chunk_alloc", total, live_bytes(), budget(),
+                        peak_bytes());
     }
     Chunk* c = new (mem) Chunk();
     c->bytes = total;
@@ -164,6 +202,7 @@ class ChunkPool {
   Chunk* free_ = nullptr;
   std::atomic<std::size_t> live_bytes_{0};
   std::atomic<std::size_t> peak_bytes_{0};
+  std::atomic<std::size_t> budget_{0};  // 0 = unlimited
 };
 
 // Polite spin: tells the core we are in a busy-wait so the sibling
@@ -293,6 +332,18 @@ class Heap {
     return p;
   }
 
+  // Guarantee the next bump of `size` bytes takes the fast path: opens
+  // a new chunk now if the current one lacks room. Any OutOfMemory
+  // surfaces HERE, with the heap untouched -- which is what lets
+  // callers pre-reserve before entering a window that must not throw
+  // (a claimed forwarding word mid-copy). Same mutual exclusion rules
+  // as bump_alloc.
+  void reserve(std::size_t size) {
+    if (__builtin_expect(static_cast<std::size_t>(end_ - top_) < size, 0)) {
+      open_new_chunk(size);
+    }
+  }
+
   // Snapshot the bump pointer into the tail chunk so object walkers
   // can iterate it without consulting `top_`.
   void retire_tail() {
@@ -381,12 +432,16 @@ class Heap {
     return o;
   }
 
-  char* overflow_raw(std::size_t size) {
+  // Open a fresh chunk able to hold `size` payload bytes and make it
+  // the bump target. If the pool throws (budget, failpoint, OS), the
+  // heap is left fully consistent -- tail retired but nothing linked
+  // or double-counted -- so the owner can collect and retry.
+  void open_new_chunk(std::size_t size) {
     retire_tail();
+    Chunk* c = pool_->acquire(size, next_chunk_bytes_);
     if (top_ != nullptr) {
       allocated_full_ += static_cast<std::size_t>(top_ - tail_->data());
     }
-    Chunk* c = pool_->acquire(size, next_chunk_bytes_);
     if (!c->oversized) {
       next_chunk_bytes_ =
           c->bytes < kChunkBytes ? c->bytes << 1 : kChunkBytes;
@@ -401,15 +456,16 @@ class Heap {
     tail_ = c;
     bytes_ += c->bytes;
     top_ = c->data();
-    end_ = c->data_limit();
+    // An oversized chunk is closed at exactly `size`: objects after the
+    // big one would sit past the first kChunkBytes-aligned block, where
+    // chunk_of()'s address mask no longer finds this header.
+    end_ = c->oversized ? c->data() + size : c->data_limit();
+  }
+
+  char* overflow_raw(std::size_t size) {
+    open_new_chunk(size);
     char* p = top_;
     top_ += size;
-    if (c->oversized) {
-      // Close the chunk: objects after the big one would sit past the
-      // first kChunkBytes-aligned block, where chunk_of()'s address
-      // mask no longer finds this header.
-      end_ = top_;
-    }
     return p;
   }
 

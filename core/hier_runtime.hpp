@@ -25,11 +25,13 @@
 #include <initializer_list>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <variant>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "core/gc_internal.hpp"
 #include "core/gc_leaf.hpp"
 #include "core/gc_parallel.hpp"
@@ -78,6 +80,17 @@ class HierRuntime {
     // forced on for every HierRuntime when the PARMEM_GC_STRESS
     // environment variable is set (and not "0").
     bool gc_stress = false;
+    // Hard cap on pool bytes; 0 = PARMEM_HEAP_BUDGET, else unlimited.
+    // A nonzero budget enables the safepoint machinery (like
+    // gc_internal_threshold does), because the emergency cascade's
+    // last rung is a stopped-world collection of every live heap:
+    // leaf, then all heaps deepest-first, then one allocation retry
+    // before parmem::OutOfMemory reaches the program.
+    std::size_t heap_budget_bytes = 0;
+    // Deterministic allocation-fault injection, e.g.
+    // "chunk_alloc=fail@3;promote_copy=every(100)". Installed into the
+    // process-wide registry (core/failpoint.hpp); "" = none.
+    std::string failpoints;
   };
 
   class Ctx {
@@ -269,9 +282,31 @@ class HierRuntime {
       if (heap_->chunk_bytes() >= gc_budget_) {
         collect_now();
       }
-      Object* o = heap_->bump_alloc(nptr, nscalar);
+      Object* o;
+      try {
+        o = heap_->bump_alloc(nptr, nscalar);
+      } catch (const OutOfMemory&) {
+        emergency_collect();
+        o = heap_->bump_alloc(nptr, nscalar);  // retry exactly once
+      }
       o->zero_fields();
       return o;
+    }
+
+    // The budget (or an injected chunk fault) refused an allocation:
+    // climb the collection cascade, cheapest rung first.
+    //   1. this task's own leaf (no coordination needed);
+    //   2. with the safepoint machinery on, a stopped-world sweep of
+    //      EVERY live heap, deepest first -- join heaps and promoted-
+    //      into internal heaps included.
+    // The caller then retries the allocation once; a second failure is
+    // the program's real OOM.
+    void emergency_collect() {
+      rt_->stats_.emergency_gcs.fetch_add(1, std::memory_order_relaxed);
+      collect_now();
+      if (__builtin_expect(rt_->sp_enabled_, 0)) {
+        rt_->drive_emergency_gc();
+      }
     }
 
     void rescale_budget(std::size_t live) {
@@ -335,7 +370,13 @@ class HierRuntime {
     if (!opts_.gc_stress && gc_stress_env()) {
       opts_.gc_stress = true;
     }
-    sp_enabled_ = opts_.gc_stress || opts_.gc_internal_threshold != 0;
+    env::install_failpoints_env();
+    chunks_.set_budget(effective_heap_budget(opts_.heap_budget_bytes));
+    if (!opts_.failpoints.empty()) {
+      failpoint::install(opts_.failpoints);
+    }
+    sp_enabled_ = opts_.gc_stress || opts_.gc_internal_threshold != 0 ||
+                  chunks_.budget() != 0;
   }
   HierRuntime(const HierRuntime&) = delete;
   HierRuntime& operator=(const HierRuntime&) = delete;
@@ -593,7 +634,49 @@ class HierRuntime {
       return;  // parked through another driver's stop instead
     }
     internal_doorbell_.store(false, std::memory_order_relaxed);
-    collect_internal_victims(thr);
+    try {
+      collect_internal_victims(thr);
+    } catch (...) {
+      gate_.end_stop();  // never leave the world stopped (OS OOM in GC)
+      throw;
+    }
+    gate_.end_stop();
+  }
+
+  // Emergency rung of the budget cascade (Ctx::emergency_collect): stop
+  // the world and collect EVERY live heap, deepest first. Unlike an
+  // internal cycle there is no threshold -- the allocation already
+  // failed, so all reclaimable garbage is wanted. If another driver's
+  // stop is pending, park through it instead: its collections free
+  // memory just the same, and our caller retries afterwards.
+  void drive_emergency_gc() {
+    if (gate_.pending()) {
+      gate_.park();
+      return;
+    }
+    if (!gate_.begin_stop()) {
+      return;
+    }
+    internal_doorbell_.store(false, std::memory_order_relaxed);
+    try {
+      std::vector<Ctx*> ctxs;
+      std::vector<Heap*> heaps;
+      snapshot_registry(&ctxs, &heaps);
+      std::vector<Heap*> victims;
+      for (Heap* h : heaps) {
+        if (h->chunks() != nullptr) {
+          victims.push_back(h);
+        }
+      }
+      std::sort(victims.begin(), victims.end(),
+                [](Heap* a, Heap* b) { return a->depth() > b->depth(); });
+      for (Heap* h : victims) {
+        stopped_collect_heap(h, ctxs, heaps, /*bill_internal=*/false);
+      }
+    } catch (...) {
+      gate_.end_stop();  // never leave the world stopped (OS OOM in GC)
+      throw;
+    }
     gate_.end_stop();
   }
 
@@ -659,8 +742,13 @@ class HierRuntime {
     std::vector<Ctx*> ctxs;
     std::vector<Heap*> heaps;
     snapshot_registry(&ctxs, &heaps);
-    me->rescale_budget(
-        stopped_collect_heap(me->heap_, ctxs, heaps, /*bill_internal=*/false));
+    try {
+      me->rescale_budget(stopped_collect_heap(me->heap_, ctxs, heaps,
+                                              /*bill_internal=*/false));
+    } catch (...) {
+      gate_.end_stop();  // never leave the world stopped (OS OOM in GC)
+      throw;
+    }
     gate_.end_stop();
   }
 

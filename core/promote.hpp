@@ -21,6 +21,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
 #include "core/stats.hpp"
@@ -94,14 +95,29 @@ inline Object* claim_and_copy_fine(Object* m, Heap* dst,
     if (heap_of(m)->depth() <= target_depth) {
       return m;  // someone (possibly us, earlier) already lifted it enough
     }
+    // Pre-reserve dst space BEFORE claiming: from claim_fwd to set_fwd
+    // nothing may throw, or the kBusy sentinel would strand and hang
+    // every chaser. reserve() is the only step that can fail (true OS
+    // OOM -- budget and injected faults never fire inside the copy
+    // window), and here the object is still unclaimed and chaseable.
+    // The claim itself happens under the remote lock too; that is
+    // safe because claimers never spin on a forwarding word while
+    // holding the lock (chase() runs before acquisition), so a
+    // teammate's kBusy cannot deadlock against us.
+    std::size_t need = Object::size_bytes(m->nptr(), m->nscalar());
+    dst->remote_lock().lock();
+    try {
+      dst->reserve(need);
+    } catch (...) {
+      dst->remote_lock().unlock();
+      throw;
+    }
     if (!m->claim_fwd()) {
+      dst->remote_lock().unlock();
       stats->promo_claim_conflicts.fetch_add(1, std::memory_order_relaxed);
       continue;  // lost the race; chase the winner's forwarding pointer
     }
-    Heap* owner = heap_of(m);
-    (void)owner;
-    dst->remote_lock().lock();
-    Object* n = copy_object_into(m, dst);
+    Object* n = copy_object_into(m, dst);  // bump within the reserve
     dst->remote_lock().unlock();
     m->set_fwd(n);  // replaces kBusy; releases waiting chasers
     scan->push_back(n);
@@ -165,6 +181,26 @@ class PathLockGuard {
 inline void promote_and_store(Object* dst_obj, std::uint32_t idx, Object* v,
                               Heap* leaf, PromotionMode mode,
                               StatsCell* stats) {
+  // The injected promote_copy fault fires HERE, before any mutation:
+  // nothing is claimed or copied yet, so the throw unwinds cleanly to
+  // the store that asked for the promotion.
+  // (gc_exempt first: an exempt caller must not consume a scheduled hit.)
+  if (__builtin_expect(!failpoint::gc_exempt() &&
+                           failpoint::triggered(failpoint::Site::kPromoteCopy),
+                       0)) {
+    ChunkPool* pool = leaf->pool();
+    throw OutOfMemory("promote_copy", 0, pool->live_bytes(), pool->budget(),
+                      pool->peak_bytes());
+  }
+  // Past this point the copy loop is a non-unwindable window, like a
+  // collection: once the first set_fwd publishes, the partial copies
+  // are reachable through forwarding words, and abandoning them would
+  // leave ancestor objects with un-lifted (deeper-heap) fields for a
+  // later leaf GC to dangle. So budget checks and injected faults are
+  // suppressed for the copies themselves -- a budget overshoot here is
+  // bounded by one promoted closure and is charged at the mutator's
+  // next chunk allocation instead.
+  failpoint::GcAllocScope copy_scope;
   stats->promotions.fetch_add(1, std::memory_order_relaxed);
   detail::PromoteResult res{nullptr};
   if (mode == PromotionMode::kCoarseLocking) {

@@ -9,6 +9,8 @@
 // the vector push.
 #pragma once
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -20,6 +22,39 @@
 #include <vector>
 
 namespace parmem {
+
+namespace detail {
+
+// Async-signal-safe output helpers for the test watchdog's dump path:
+// no malloc, no stdio, just write(2).
+inline void sig_write(int fd, const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') {
+    ++n;
+  }
+  ssize_t r = ::write(fd, s, n);
+  (void)r;
+}
+
+inline void sig_write_i64(int fd, long long v) {
+  char b[24];
+  unsigned i = sizeof b;
+  bool neg = v < 0;
+  unsigned long long u =
+      neg ? ~static_cast<unsigned long long>(v) + 1ull
+          : static_cast<unsigned long long>(v);
+  do {
+    b[--i] = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0);
+  if (neg) {
+    b[--i] = '-';
+  }
+  ssize_t r = ::write(fd, b + i, sizeof b - i);
+  (void)r;
+}
+
+}  // namespace detail
 
 class WorkStealPool {
  public:
@@ -216,9 +251,56 @@ class WorkStealPool {
 // Progress is cooperative: an activated task that neither reaches a
 // safepoint nor deactivates stalls a pending stop (the same contract as
 // the STW runtime's pause).
+class SafepointGate;
+
+// Process-global table of live SafepointGates so the test watchdog's
+// SIGALRM handler can locate and dump them without locks or allocation
+// (both forbidden in a signal handler). Lock-free CAS slots; a process
+// with more than kSlots live gates just leaves the excess unreported.
+class GateRegistry {
+ public:
+  static constexpr unsigned kSlots = 16;
+
+  static void add(SafepointGate* g) {
+    for (unsigned i = 0; i < kSlots; ++i) {
+      SafepointGate* expect = nullptr;
+      if (slots()[i].compare_exchange_strong(expect, g,
+                                             std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+  static void remove(SafepointGate* g) {
+    for (unsigned i = 0; i < kSlots; ++i) {
+      SafepointGate* expect = g;
+      slots()[i].compare_exchange_strong(expect, nullptr,
+                                         std::memory_order_acq_rel);
+    }
+  }
+
+  template <class Fn>
+  static void for_each(Fn&& fn) {
+    for (unsigned i = 0; i < kSlots; ++i) {
+      if (SafepointGate* g = slots()[i].load(std::memory_order_acquire)) {
+        fn(g);
+      }
+    }
+  }
+
+ private:
+  static std::atomic<SafepointGate*>* slots() {
+    static std::atomic<SafepointGate*> table[kSlots] = {};
+    return table;
+  }
+};
+
 class SafepointGate {
  public:
-  explicit SafepointGate(unsigned workers) : slots_(workers) {}
+  explicit SafepointGate(unsigned workers) : slots_(workers) {
+    GateRegistry::add(this);
+  }
+  ~SafepointGate() { GateRegistry::remove(this); }
   SafepointGate(const SafepointGate&) = delete;
   SafepointGate& operator=(const SafepointGate&) = delete;
 
@@ -275,6 +357,29 @@ class SafepointGate {
     stop_pending_ = false;
     stop_flag_.store(false, std::memory_order_seq_cst);
     done_cv_.notify_all();
+  }
+
+  // Watchdog dump: async-signal-safe (atomics and write(2) only; does
+  // NOT take mu_, so paused_ is read racily -- acceptable when
+  // diagnosing an already-hung process). Shows whether a stop is
+  // pending, how many tasks have parked, and each worker slot's
+  // running-set count -- enough to tell a stalled stop (some slot
+  // active but never parking) from a lost wakeup (all parked, stop
+  // never ending).
+  void dump(int fd) const {
+    detail::sig_write(fd, "  gate stop_flag=");
+    detail::sig_write_i64(fd, stop_flag_.load(std::memory_order_relaxed));
+    detail::sig_write(fd, " paused=");
+    detail::sig_write_i64(fd, static_cast<long long>(paused_));
+    detail::sig_write(fd, " active=[");
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (i != 0) {
+        detail::sig_write(fd, " ");
+      }
+      detail::sig_write_i64(fd,
+                            slots_[i].active.load(std::memory_order_relaxed));
+    }
+    detail::sig_write(fd, "]\n");
   }
 
  private:

@@ -33,6 +33,11 @@ struct Stats {
   // collection is a collection); the internal_* pair isolates them.
   std::uint64_t internal_gc_count = 0;
   std::uint64_t internal_gc_bytes = 0;  // live bytes evacuated internally
+  // Emergency collections: cascades run because an allocation hit the
+  // hard heap budget (or an injected chunk_alloc fault) and the runtime
+  // collected everything it could before retrying. Also counted in
+  // gc_count; a nonzero value means the computation ran degraded.
+  std::uint64_t emergency_gcs = 0;
 
   Stats operator-(const Stats& o) const {
     Stats d;
@@ -46,6 +51,7 @@ struct Stats {
     d.forks = forks - o.forks;
     d.internal_gc_count = internal_gc_count - o.internal_gc_count;
     d.internal_gc_bytes = internal_gc_bytes - o.internal_gc_bytes;
+    d.emergency_gcs = emergency_gcs - o.emergency_gcs;
     return d;
   }
 };
@@ -62,6 +68,7 @@ struct StatsCell {
   std::atomic<std::uint64_t> forks{0};
   std::atomic<std::uint64_t> internal_gc_count{0};
   std::atomic<std::uint64_t> internal_gc_bytes{0};
+  std::atomic<std::uint64_t> emergency_gcs{0};
 
   Stats snapshot() const {
     Stats s;
@@ -76,6 +83,7 @@ struct StatsCell {
     s.forks = forks.load(std::memory_order_relaxed);
     s.internal_gc_count = internal_gc_count.load(std::memory_order_relaxed);
     s.internal_gc_bytes = internal_gc_bytes.load(std::memory_order_relaxed);
+    s.emergency_gcs = emergency_gcs.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -31,10 +31,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "core/gc_leaf.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
@@ -54,6 +56,13 @@ class LhRuntime {
     unsigned workers = 0;  // 0 = one per hardware thread
     std::size_t gc_min_budget = std::size_t{4} << 20;  // per local heap
     double gc_growth_factor = 8.0;
+    // Hard cap on pool bytes; 0 = PARMEM_HEAP_BUDGET, else unlimited.
+    // Exceeding it emergency-collects the worker's local heap and
+    // retries once before parmem::OutOfMemory reaches the program (the
+    // global heap is an allocation sink here, so that is all the
+    // reclaim this design has).
+    std::size_t heap_budget_bytes = 0;
+    std::string failpoints;  // e.g. "chunk_alloc=fail@3"; "" = none
   };
 
  private:
@@ -180,7 +189,18 @@ class LhRuntime {
       if (w_->heap.chunk_bytes() >= w_->gc_budget) {
         collect_now();
       }
-      Object* o = w_->heap.bump_alloc(nptr, nscalar);
+      Object* o;
+      try {
+        o = w_->heap.bump_alloc(nptr, nscalar);
+      } catch (const OutOfMemory&) {
+        // Budget hit (or injected chunk fault): emergency-collect this
+        // worker's local heap and retry once. (Other workers' locals
+        // are not safely collectable from here, and the global heap is
+        // reclaimed only at run() end -- both by design.)
+        collect_now();
+        rt_->stats_.emergency_gcs.fetch_add(1, std::memory_order_relaxed);
+        o = w_->heap.bump_alloc(nptr, nscalar);
+      }
       o->zero_fields();
       return o;
     }
@@ -194,6 +214,11 @@ class LhRuntime {
       : opts_(opts),
         global_(nullptr, 0, &chunks_),
         pool_(opts.workers) {
+    env::install_failpoints_env();
+    chunks_.set_budget(effective_heap_budget(opts_.heap_budget_bytes));
+    if (!opts_.failpoints.empty()) {
+      failpoint::install(opts_.failpoints);
+    }
     workers_.reserve(pool_.workers());
     for (unsigned i = 0; i < pool_.workers(); ++i) {
       workers_.push_back(std::make_unique<WorkerState>(
@@ -288,6 +313,19 @@ class LhRuntime {
   friend class Ctx;
 
   Object* promote_to_global(Object* v) {
+    // Same fault discipline as promote_and_store (this path bypasses
+    // it): the injected promote fault fires before any mutation, and
+    // the copy loop itself is a non-unwindable window -- once the
+    // first set_fwd publishes, abandoning the closure would leave
+    // global objects with un-lifted local fields.
+    if (__builtin_expect(
+            !failpoint::gc_exempt() &&
+                failpoint::triggered(failpoint::Site::kPromoteCopy),
+            0)) {
+      throw OutOfMemory("promote_copy", 0, chunks_.live_bytes(),
+                        chunks_.budget(), chunks_.peak_bytes());
+    }
+    failpoint::GcAllocScope copy_scope;
     std::lock_guard<std::mutex> g(global_.path_lock());
     detail::PromoteResult res = detail::promote_coarse_locked(v, &global_);
     if (res.objects != 0) {

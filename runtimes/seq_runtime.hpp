@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <string>
 #include <utility>
 
+#include "core/failpoint.hpp"
 #include "core/gc_leaf.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
@@ -29,6 +31,11 @@ class SeqRuntime {
     unsigned workers = 1;  // accepted for surface parity; always runs on 1
     std::size_t gc_min_budget = std::size_t{4} << 20;
     double gc_growth_factor = 8.0;
+    // Hard cap on pool bytes; 0 = PARMEM_HEAP_BUDGET, else unlimited.
+    // Exceeding it triggers an emergency collection + one retry before
+    // parmem::OutOfMemory reaches the program.
+    std::size_t heap_budget_bytes = 0;
+    std::string failpoints;  // e.g. "chunk_alloc=fail@3"; "" = none
   };
 
   class Ctx {
@@ -109,7 +116,17 @@ class SeqRuntime {
       if (heap_->chunk_bytes() >= gc_budget_) {
         collect_now();
       }
-      Object* o = heap_->bump_alloc(nptr, nscalar);
+      Object* o;
+      try {
+        o = heap_->bump_alloc(nptr, nscalar);
+      } catch (const OutOfMemory&) {
+        // Budget hit (or injected chunk fault): emergency-collect the
+        // one heap there is, then retry exactly once. A second failure
+        // is the program's real OOM and propagates.
+        collect_now();
+        rt_->stats_.emergency_gcs.fetch_add(1, std::memory_order_relaxed);
+        o = heap_->bump_alloc(nptr, nscalar);
+      }
       o->zero_fields();
       return o;
     }
@@ -121,7 +138,13 @@ class SeqRuntime {
   };
 
   SeqRuntime() : SeqRuntime(Options{}) {}
-  explicit SeqRuntime(const Options& opts) : opts_(opts) {}
+  explicit SeqRuntime(const Options& opts) : opts_(opts) {
+    env::install_failpoints_env();
+    chunks_.set_budget(effective_heap_budget(opts_.heap_budget_bytes));
+    if (!opts_.failpoints.empty()) {
+      failpoint::install(opts_.failpoints);
+    }
+  }
   SeqRuntime(const SeqRuntime&) = delete;
   SeqRuntime& operator=(const SeqRuntime&) = delete;
 

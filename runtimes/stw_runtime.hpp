@@ -35,9 +35,11 @@
 #include <initializer_list>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "core/gc_leaf.hpp"
 #include "core/gc_parallel.hpp"
 #include "core/heap.hpp"
@@ -57,6 +59,11 @@ class StwRuntime {
     unsigned workers = 0;  // 0 = one per hardware thread
     std::size_t gc_min_budget = std::size_t{32} << 20;  // shared-heap bytes
     double gc_growth_factor = 8.0;
+    // Hard cap on pool bytes; 0 = PARMEM_HEAP_BUDGET, else unlimited.
+    // Exceeding it forces a full stop-the-world collection and one
+    // retry before parmem::OutOfMemory reaches the program.
+    std::size_t heap_budget_bytes = 0;
+    std::string failpoints;  // e.g. "chunk_alloc=fail@3"; "" = none
   };
 
   class Ctx {
@@ -130,7 +137,19 @@ class StwRuntime {
           rt_->gc_budget_.load(std::memory_order_relaxed)) {
         rt_->collect(this, /*force=*/false);
       }
-      Object* o = heap_.bump_alloc(nptr, nscalar);
+      Object* o;
+      try {
+        o = heap_.bump_alloc(nptr, nscalar);
+      } catch (const OutOfMemory&) {
+        // Budget hit (or injected chunk fault): force a full
+        // stop-the-world collection -- the biggest hammer this flat
+        // heap has -- and retry exactly once. A failure of the
+        // collection itself propagates from collect() instead of
+        // looping back here.
+        rt_->collect(this, /*force=*/true);
+        rt_->stats_.emergency_gcs.fetch_add(1, std::memory_order_relaxed);
+        o = heap_.bump_alloc(nptr, nscalar);
+      }
       o->zero_fields();
       return o;
     }
@@ -148,7 +167,13 @@ class StwRuntime {
       : opts_(opts),
         gc_budget_(opts.gc_min_budget),
         pool_(opts.workers),
-        slots_(pool_.workers()) {}
+        slots_(pool_.workers()) {
+    env::install_failpoints_env();
+    chunks_.set_budget(effective_heap_budget(opts_.heap_budget_bytes));
+    if (!opts_.failpoints.empty()) {
+      failpoint::install(opts_.failpoints);
+    }
+  }
   StwRuntime(const StwRuntime&) = delete;
   StwRuntime& operator=(const StwRuntime&) = delete;
 
@@ -382,7 +407,20 @@ class StwRuntime {
       done_cv_.notify_all();
       lk.unlock();
       pc.run_worker(0);
-      core::ParallelGcOutcome out = pc.finish();  // all recruits exited
+      core::ParallelGcOutcome out;
+      try {
+        out = pc.finish();  // all recruits exited; rethrows a team abort
+      } catch (...) {
+        // The evacuation itself failed (true OS OOM in collector
+        // context) -- fatal for the computation, but the stopped world
+        // must still be released or every parked task deadlocks.
+        lk.lock();
+        gc_team_ = nullptr;
+        gc_pending_ = false;
+        gc_flag_.store(false, std::memory_order_seq_cst);
+        done_cv_.notify_all();
+        throw;
+      }
       lk.lock();
       gc_team_ = nullptr;
       live = out.totals.bytes_copied;
@@ -397,7 +435,14 @@ class StwRuntime {
       stats_.gc_ns.fetch_add(wall * pool_.workers(),
                              std::memory_order_relaxed);
     } else {
-      live = leaf_gc_collect(&me->heap_, &stats_, each_root);
+      try {
+        live = leaf_gc_collect(&me->heap_, &stats_, each_root);
+      } catch (...) {
+        gc_pending_ = false;
+        gc_flag_.store(false, std::memory_order_seq_cst);
+        done_cv_.notify_all();
+        throw;
+      }
     }
 
     auto scaled = static_cast<std::size_t>(static_cast<double>(live) *

@@ -9,6 +9,8 @@
 #                                                policy tables)
 #   ablation_internal_gc -> BENCH_internal_gc.txt (internal-heap collection
 #                                                policy sweep + controls)
+#   ablation_oom         -> BENCH_oom.txt        (bounded-memory degradation
+#                                                curve + allocation-fault sweep)
 #
 # Usage: scripts/run_bench.sh [--quick] [--bench=FILTER]
 #   --quick          smoke mode: short min-time / tiny sizes, for CI.
@@ -34,7 +36,7 @@ done
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
   --target micro_ops fig08_op_costs fig10_pure ablation_parallel_gc \
-           ablation_internal_gc >/dev/null
+           ablation_internal_gc ablation_oom >/dev/null
 
 # A filtered run is a subset: never let it overwrite the committed
 # baselines that later perf PRs (and CI's asserts) diff against.
@@ -109,11 +111,27 @@ if [ -z "$FILTER" ]; then
     | tee "$OUT_DIR/BENCH_internal_gc.txt"
 fi
 
+# Bounded-memory baseline: per-kernel degradation curve (budgets as
+# fractions of each kernel's own peak) plus the allocation-fault sweep
+# across all four runtimes. The driver exits nonzero on any silent
+# corruption, so this section is also a correctness gate. Kernel set
+# is fixed; a --bench filter skips it like the sections above.
+if [ -z "$FILTER" ]; then
+  OOM_ARGS=("--procs=2")
+  if [ "$QUICK" -eq 1 ]; then
+    OOM_ARGS+=("--quick")
+  else
+    OOM_ARGS+=("--scale=0.25" "--runs=3")
+  fi
+  "$BUILD/ablation_oom" "${OOM_ARGS[@]}" \
+    | tee "$OUT_DIR/BENCH_oom.txt"
+fi
+
 echo
 echo "results written: $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_fig08.txt," \
      "$OUT_DIR/BENCH_runtimes.json" \
-     "${FILTER:+(parallel_gc + internal_gc sections skipped under --bench)}"
+     "${FILTER:+(parallel_gc + internal_gc + oom sections skipped under --bench)}"
 if [ -z "$FILTER" ]; then
   echo "                 + $OUT_DIR/BENCH_parallel_gc.txt," \
-       "$OUT_DIR/BENCH_internal_gc.txt"
+       "$OUT_DIR/BENCH_internal_gc.txt, $OUT_DIR/BENCH_oom.txt"
 fi

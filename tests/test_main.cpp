@@ -1,3 +1,7 @@
+#include <csignal>
+#include <cstdlib>
+
+#include "core/sched.hpp"
 #include "tests/test_util.hpp"
 
 namespace parmem::test {
@@ -7,9 +11,40 @@ std::map<std::string, TestFn>& registry() {
   return r;
 }
 
+namespace {
+
+// In-process watchdog: if a test wedges (a stop that never finishes, a
+// join that never completes), dump every live SafepointGate's state
+// and abort with a distinguishable message instead of hanging until
+// the ctest TIMEOUT reaps us silently. Everything in the handler is
+// async-signal-safe: write(2), the gate registry's atomics, abort().
+void watchdog_fire(int) {
+  parmem::detail::sig_write(
+      2, "\nparmem test watchdog: alarm expired, test is hung; "
+         "safepoint gates:\n");
+  parmem::GateRegistry::for_each(
+      [](parmem::SafepointGate* g) { g->dump(2); });
+  std::abort();
+}
+
+void arm_watchdog() {
+  unsigned seconds = 120;  // default; PARMEM_TEST_ALARM=0 disables
+  if (const char* v = std::getenv("PARMEM_TEST_ALARM")) {
+    seconds = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+  }
+  if (seconds == 0) {
+    return;
+  }
+  std::signal(SIGALRM, watchdog_fire);
+  ::alarm(seconds);
+}
+
+}  // namespace
+
 }  // namespace parmem::test
 
 int main(int argc, char** argv) {
+  parmem::test::arm_watchdog();
   auto& reg = parmem::test::registry();
   if (argc > 1 && std::string(argv[1]) == "--list") {
     for (const auto& [name, fn] : reg) {
