@@ -4,7 +4,14 @@
 // fig08_op_costs with statistically managed timing.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/deque.hpp"
 #include "core/hier_runtime.hpp"
+#include "core/sched.hpp"
 
 namespace parmem {
 namespace {
@@ -137,6 +144,105 @@ void BM_PromoteSmallObject(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_PromoteSmallObject);
+
+// --- scheduler rows --------------------------------------------------------
+// fork2_throughput is the tentpole metric of the lock-free scheduler:
+// forks/second through full binary fork trees with a second worker
+// present. That second worker is the point: an idle thief must cost
+// the fork-executing owner NOTHING. Under the old mutex deques the
+// idle worker's poll loop took the owner's deque lock on every sweep
+// and roughly halved throughput on a small box; with Chase-Lev the
+// owner's push+pop never blocks and the parked thief never touches
+// the owner's line. steal_latency measures the push ->
+// executed-on-another-worker round trip. The two deque rows isolate
+// the raw deque cycle, with the old mutex+vector deque kept as an
+// in-tree replica so the before/after never goes stale.
+
+std::int64_t fork_tree_count(Ctx& ctx, int depth) {
+  if (depth == 0) {
+    return 1;
+  }
+  auto [a, b] = HierRuntime::fork2(
+      ctx, {}, [&](Ctx& c) { return fork_tree_count(c, depth - 1); },
+      [&](Ctx& c) { return fork_tree_count(c, depth - 1); });
+  return a + b;
+}
+
+void BM_Fork2Throughput(benchmark::State& state) {
+  constexpr int kDepth = 8;  // 255 forks per iteration
+  HierRuntime rt({.workers = 2});
+  rt.run([&state](Ctx& ctx) {
+    std::int64_t leaves = 0;
+    for (auto _ : state) {
+      leaves += fork_tree_count(ctx, kDepth);
+    }
+    benchmark::DoNotOptimize(leaves);
+    return 0;
+  });
+  state.SetItemsProcessed(state.iterations() * ((1 << kDepth) - 1));
+}
+BENCHMARK(BM_Fork2Throughput);
+
+struct PingTask : WorkStealPool::Task {
+  std::atomic<bool> done{false};
+  void execute() override { done.store(true, std::memory_order_release); }
+};
+
+void BM_StealLatency(benchmark::State& state) {
+  WorkStealPool pool(2);
+  WorkStealPool::Scope scope(&pool);
+  for (auto _ : state) {
+    PingTask t;
+    pool.push(&t);
+    // Wait without helping: the task completes only when the other
+    // worker steals it, so the measured interval is push -> stolen ->
+    // executed. The yield matters on boxes with fewer cores than
+    // workers -- without it the waiter burns its whole quantum before
+    // the thief can run at all.
+    while (!t.done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+BENCHMARK(BM_StealLatency);
+
+void BM_DequePushPop(benchmark::State& state) {
+  ChaseLevDeque<PingTask> dq;
+  PingTask t;
+  for (auto _ : state) {
+    dq.push(&t);
+    benchmark::DoNotOptimize(dq.pop());
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+// Replica of the pre-Chase-Lev mutex deque, kept so every recording
+// carries its own before/after of the uncontended fork cycle.
+struct MutexDeque {
+  std::mutex mu;
+  std::vector<PingTask*> tasks;
+};
+
+void BM_MutexDequePushPop(benchmark::State& state) {
+  MutexDeque dq;
+  PingTask t;
+  for (auto _ : state) {
+    {
+      std::lock_guard<std::mutex> g(dq.mu);
+      dq.tasks.push_back(&t);
+    }
+    PingTask* p = nullptr;
+    {
+      std::lock_guard<std::mutex> g(dq.mu);
+      if (!dq.tasks.empty() && dq.tasks.back() == &t) {
+        dq.tasks.pop_back();
+        p = &t;
+      }
+    }
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_MutexDequePushPop);
 
 // --- fine-grained promotion mode (Section 5 future work) -------------------
 // The per-op costs of the claim-based mode, for comparison with the

@@ -1,0 +1,208 @@
+// Chase-Lev lock-free work-stealing deque (Chase & Lev, "Dynamic
+// Circular Work-Stealing Deque", SPAA 2005), with the C11 memory
+// orders of Lê, Pop, Cohen & Zappa Nardelli ("Correct and Efficient
+// Work-Stealing for Weak Memory Models", PPoPP 2013) -- except that
+// the two fence-synchronised races are expressed as seq_cst
+// OPERATIONS rather than relaxed-op + seq_cst-fence pairs, so the
+// happens-before edges live on the atomics themselves and TSan (which
+// does not model standalone fences) sees the algorithm as the data-
+// race-free program it is.
+//
+// Single owner, many thieves:
+//
+//   push(x)   owner only   bottom end (LIFO for the owner)
+//   pop()     owner only   bottom end; null when empty or when a thief
+//                          won the race for the last element
+//   steal()   any thread   top end (FIFO: the oldest, biggest task);
+//                          null when empty OR on a lost CAS -- callers
+//                          treat both as "try elsewhere and come back"
+//
+// Memory-ordering contract (the correctness crux, kept in one place):
+//
+//   * push publishes the element with a RELEASE store of bottom_.
+//     Every later store of bottom_ (including pop's) is also at least
+//     release, and bottom_ is only ever stored by the owner, so its
+//     modification order equals the owner's program order: a thief
+//     that ACQUIRE-reads bottom_ == b synchronises with that store and
+//     therefore sees every slot write for indices < b (and the task's
+//     own non-atomic payload, written before push).
+//   * pop decrements bottom_ with a SEQ_CST store and then SEQ_CST-
+//     loads top_; steal SEQ_CST-loads top_ then bottom_ and claims
+//     with a SEQ_CST CAS on top_. This is the classic Dekker pair on
+//     the last element: in the single total order of seq_cst
+//     operations, either the thief's CAS precedes the owner's top_
+//     load (owner sees top advanced -> t > b, or loses the t == b
+//     CAS), or the owner's bottom_ store precedes the thief's bottom_
+//     load (thief sees the shrunken deque and returns null). Both
+//     taking the same element would require each to miss the other's
+//     write, which seq_cst forbids. Weakening pop's bottom_ store or
+//     top_ load below seq_cst re-opens the lost-element/double-take
+//     window on x86 (store-load reordering) and is the one ordering
+//     this file must never relax.
+//   * Slots are std::atomic<T*> accessed relaxed: a stale thief may
+//     read a slot the owner is about to reuse, but the top_ CAS
+//     decides ownership, and the growth proof below guarantees an
+//     UNCONSUMED index is never overwritten (push grows whenever
+//     b - t_observed > capacity - 1 with t_observed <= t, so reaching
+//     an overwrite of live index t would require b - t >= capacity,
+//     which forces growth first).
+//
+// The ring grows by doubling; old rings are kept on a retired chain
+// until the deque dies, because a thief that loaded ring_ before a
+// growth may still read its (still-correct, copied-from) slots.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace parmem {
+
+template <class T>
+class ChaseLevDeque {
+ public:
+  // initial_capacity is rounded up to a power of two; keep it small in
+  // torture tests to exercise wraparound and growth.
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 2;
+    while (cap < initial_capacity) {
+      cap <<= 1;
+    }
+    ring_.store(Ring::make(cap, nullptr), std::memory_order_relaxed);
+  }
+
+  ~ChaseLevDeque() {
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    while (r != nullptr) {
+      Ring* prev = r->retired;
+      std::free(r);
+      r = prev;
+    }
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  // Owner only. May allocate (ring growth); strong exception safety --
+  // a failed growth leaves the deque unchanged.
+  void push(T* item) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->slot(b).store(item, std::memory_order_relaxed);
+    // Release: a thief acquiring bottom_ >= b+1 sees the slot write
+    // and the item's payload (see the contract above).
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner only. Takes the NEWEST element; null when empty or when a
+  // thief won the last element.
+  T* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    // seq_cst store + seq_cst top_ load: the owner's half of the
+    // pop-vs-steal Dekker pair (see the file comment). Nothing weaker
+    // is sound here.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty; undo the reservation.
+      bottom_.store(b + 1, std::memory_order_release);
+      return nullptr;
+    }
+    T* x = a->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race any thief for it via the top_ CAS.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        x = nullptr;  // a thief took it
+      }
+      bottom_.store(b + 1, std::memory_order_release);
+    }
+    return x;
+  }
+
+  // Any thread. Takes the OLDEST element; null when the deque looks
+  // empty or the claiming CAS was lost (another thief or the owner's
+  // pop got there first) -- callers retry or move to another victim.
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) {
+      return nullptr;
+    }
+    Ring* a = ring_.load(std::memory_order_acquire);
+    T* x = a->slot(t).load(std::memory_order_relaxed);
+    // The slot must be read BEFORE the CAS: once top_ advances, the
+    // owner may recycle the index.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the claim
+    }
+    return x;
+  }
+
+  // Racy size hint for idle/wake-up checks. A false "empty" is only
+  // possible for elements pushed concurrently with the check; the
+  // scheduler's wake-up protocol (core/sched.hpp) closes that window
+  // with its own Dekker pair on the sleeper count.
+  bool empty() const {
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    return t >= b;
+  }
+
+  std::size_t capacity() const {
+    return ring_.load(std::memory_order_acquire)->capacity;
+  }
+
+ private:
+  struct Ring {
+    std::size_t capacity;  // power of two
+    Ring* retired;         // previous (smaller) ring, freed at teardown
+    std::atomic<T*>& slot(std::int64_t i) {
+      return slots()[static_cast<std::size_t>(i) & (capacity - 1)];
+    }
+    std::atomic<T*>* slots() {
+      return reinterpret_cast<std::atomic<T*>*>(this + 1);
+    }
+    static Ring* make(std::size_t cap, Ring* prev) {
+      void* mem = std::malloc(sizeof(Ring) + cap * sizeof(std::atomic<T*>));
+      if (mem == nullptr) {
+        throw std::bad_alloc();
+      }
+      Ring* r = new (mem) Ring();
+      r->capacity = cap;
+      r->retired = prev;
+      return r;
+    }
+  };
+
+  // Owner only. Copies the live window [t, b) into a ring twice the
+  // size and publishes it. The old ring stays readable (retired chain)
+  // for thieves that loaded ring_ before the switch; indices in [t, b)
+  // hold identical values in both rings, so a stale read is correct.
+  Ring* grow(Ring* a, std::int64_t t, std::int64_t b) {
+    Ring* n = Ring::make(a->capacity * 2, a);
+    for (std::int64_t i = t; i < b; ++i) {
+      n->slot(i).store(a->slot(i).load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+    ring_.store(n, std::memory_order_release);
+    return n;
+  }
+
+  // top_ and bottom_ on separate cache lines: thieves hammer top_,
+  // the owner hammers bottom_.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_{nullptr};
+};
+
+}  // namespace parmem

@@ -38,7 +38,6 @@
 #include <stdexcept>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -46,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/deque.hpp"
 #include "core/failpoint.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
@@ -405,18 +405,19 @@ class ParallelCollector {
     Object** slots() { return reinterpret_cast<Object**>(this + 1); }
   };
 
-  struct Deque {
-    SpinLock lock;
-    std::deque<Packet*> q;  // O(1) at both ends: thieves pop the front
-  };
-
   struct alignas(64) Worker {
     unsigned index = 0;
     std::unique_ptr<Heap> to;  // private to-space buffer: no contention
     Packet* open = nullptr;    // partial packet being filled
     Packet* free = nullptr;    // recycled packets
     std::vector<Object*> overflow;  // degraded-mode greys (no packets)
-    Deque deque;
+    // Lock-free grey-packet deque (same Chase-Lev core as the task
+    // scheduler): the owner pushes/pops full packets at the bottom,
+    // thieves take the oldest at the top. The [queued:idle] state_
+    // word stays the termination authority -- a transiently wrapped
+    // queued count (thief's decrement landing before the pusher's
+    // increment) only keeps workers spinning, never terminates early.
+    ChaseLevDeque<Packet> deque{32};
     ParallelGcWorkerStats stats;
   };
 
@@ -542,24 +543,14 @@ class ParallelCollector {
     }
     p->slots()[p->count++] = n;
     if (p->count == opts_.packet_objects) {
-      {
-        std::lock_guard<SpinLock> g(ws.deque.lock);
-        ws.deque.q.push_back(p);
-      }
+      ws.deque.push(p);
       state_.fetch_add(kQueuedOne, std::memory_order_acq_rel);
       ws.open = nullptr;
     }
   }
 
   Packet* pop_local(Worker& ws) {
-    Packet* p = nullptr;
-    {
-      std::lock_guard<SpinLock> g(ws.deque.lock);
-      if (!ws.deque.q.empty()) {
-        p = ws.deque.q.back();
-        ws.deque.q.pop_back();
-      }
-    }
+    Packet* p = ws.deque.pop();
     if (p != nullptr) {
       state_.fetch_sub(kQueuedOne, std::memory_order_acq_rel);
     }
@@ -568,17 +559,12 @@ class ParallelCollector {
 
   // Steal the OLDEST packet from a teammate: early greys root the
   // widest unexplored subgraphs (same heuristic as the task scheduler).
+  // A lost steal CAS reads as an empty victim; the drain loop retries
+  // while state_ still shows queued packets, so nothing is missed.
   Packet* steal(Worker& ws) {
     for (unsigned k = 1; k < opts_.team_size; ++k) {
       Worker& v = *workers_[(ws.index + k) % opts_.team_size];
-      Packet* p = nullptr;
-      {
-        std::lock_guard<SpinLock> g(v.deque.lock);
-        if (!v.deque.q.empty()) {
-          p = v.deque.q.front();
-          v.deque.q.pop_front();
-        }
-      }
+      Packet* p = v.deque.steal();
       if (p != nullptr) {
         state_.fetch_sub(kQueuedOne, std::memory_order_acq_rel);
         ws.stats.packets_stolen += 1;

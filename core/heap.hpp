@@ -18,6 +18,18 @@
 
 #include "core/failpoint.hpp"
 #include "core/object.hpp"
+#include "core/stats.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define PARMEM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARMEM_TSAN 1
+#endif
+#endif
+#if defined(PARMEM_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
 
 namespace parmem {
 
@@ -58,8 +70,36 @@ inline Heap* heap_of(const Object* o) {
   return chunk_of(o)->heap.load(std::memory_order_relaxed);
 }
 
-// Per-runtime chunk recycler. Only slow paths (chunk overflow, GC,
-// heap teardown) ever take its mutex.
+// Polite spin: tells the core we are in a busy-wait so the sibling
+// hyperthread gets the pipeline. Shared by every spin site (SpinLock,
+// the scheduler's steal loop, GC-team termination detection).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+}
+
+// Tiny spinlock guarding fine-grained remote bumps into an internal
+// heap; promotion critical sections are a handful of instructions.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      cpu_relax();
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+// Per-runtime chunk recycler. The global free list sits behind a
+// mutex, but sharded per-thread caches (kCacheShards slots of up to
+// kCacheCap full-size chunks, each shard on its own cache line behind
+// its own spinlock) absorb the common acquire/release churn of leaf
+// GC and fork-tree turnover, so only cache misses and overflows ever
+// touch the shared lock.
 class ChunkPool {
  public:
   ChunkPool() = default;
@@ -67,6 +107,13 @@ class ChunkPool {
   ChunkPool& operator=(const ChunkPool&) = delete;
 
   ~ChunkPool() {
+    for (CacheShard& s : cache_) {
+      while (s.head != nullptr) {
+        Chunk* c = s.head;
+        s.head = c->next;
+        std::free(c);
+      }
+    }
     std::lock_guard<std::mutex> g(mu_);
     while (free_ != nullptr) {
       Chunk* c = free_;
@@ -96,10 +143,26 @@ class ChunkPool {
       if (want < kChunkBytes) {
         return fresh(want, false);
       }
+      // Per-thread cache first: uncontended spinlock on our own line.
+      // check_budget runs BEFORE the pop on both paths, so a budget
+      // throw leaves the chunk where it was.
+      {
+        CacheShard& s = shard();
+        std::lock_guard<SpinLock> g(s.lock);
+        if (s.head != nullptr) {
+          check_budget(s.head->bytes);  // pooled reuse still counts as live
+          Chunk* c = s.head;
+          s.head = c->next;
+          --s.count;
+          account_live(c->bytes);
+          reset(c);
+          return c;
+        }
+      }
       {
         std::lock_guard<std::mutex> g(mu_);
         if (free_ != nullptr) {
-          check_budget(free_->bytes);  // pooled reuse still counts as live
+          check_budget(free_->bytes);
           Chunk* c = free_;
           free_ = c->next;
           account_live(c->bytes);
@@ -121,9 +184,24 @@ class ChunkPool {
       // cheap to realloc and pooling them would fragment the free list.
       std::free(c);
     } else {
-      std::lock_guard<std::mutex> g(mu_);
-      c->next = free_;
-      free_ = c;
+      // Capped per-thread cache first; overflow spills to the shared
+      // list so one thread's GC churn stays reusable by everyone.
+      CacheShard& s = shard();
+      bool cached = false;
+      {
+        std::lock_guard<SpinLock> g(s.lock);
+        if (s.count < kCacheCap) {
+          c->next = s.head;
+          s.head = c;
+          ++s.count;
+          cached = true;
+        }
+      }
+      if (!cached) {
+        std::lock_guard<std::mutex> g(mu_);
+        c->next = free_;
+        free_ = c;
+      }
     }
     live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
   }
@@ -198,35 +276,26 @@ class ChunkPool {
     }
   }
 
-  std::mutex mu_;
+  static constexpr unsigned kCacheShards = 8;  // power of two
+  static constexpr unsigned kCacheCap = 4;     // chunks per shard
+
+  struct alignas(64) CacheShard {
+    SpinLock lock;
+    Chunk* head = nullptr;
+    unsigned count = 0;
+  };
+
+  CacheShard& shard() { return cache_[thread_shard_id() % kCacheShards]; }
+
+  CacheShard cache_[kCacheShards];
+  std::mutex mu_;  // global free list: cache-miss path only
   Chunk* free_ = nullptr;
-  std::atomic<std::size_t> live_bytes_{0};
+  // The byte counters live on their own line: every acquire/release on
+  // every worker hits them, and they must not share a line with the
+  // mutex word or the free-list head.
+  alignas(64) std::atomic<std::size_t> live_bytes_{0};
   std::atomic<std::size_t> peak_bytes_{0};
   std::atomic<std::size_t> budget_{0};  // 0 = unlimited
-};
-
-// Polite spin: tells the core we are in a busy-wait so the sibling
-// hyperthread gets the pipeline. Shared by every spin site (SpinLock,
-// the scheduler's steal loop, GC-team termination detection).
-inline void cpu_relax() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#endif
-}
-
-// Tiny spinlock guarding fine-grained remote bumps into an internal
-// heap; promotion critical sections are a handful of instructions.
-class SpinLock {
- public:
-  void lock() {
-    while (flag_.test_and_set(std::memory_order_acquire)) {
-      cpu_relax();
-    }
-  }
-  void unlock() { flag_.clear(std::memory_order_release); }
-
- private:
-  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
 };
 
 // One node of the heap tree. Leaf heaps are bumped lock-free by their
@@ -240,7 +309,22 @@ class Heap {
   Heap(const Heap&) = delete;
   Heap& operator=(const Heap&) = delete;
 
-  ~Heap() { release_all_chunks(); }
+  ~Heap() {
+    release_all_chunks();
+#if defined(PARMEM_TSAN)
+    // Heaps live in fork2 stack frames, so a dead heap's address is
+    // promptly reused by another heap at a different depth. glibc's
+    // std::mutex destructor is trivial (no pthread_mutex_destroy
+    // call), so without this TSan keeps the dead path lock's
+    // lock-order edges and conflates the logical mutexes sharing the
+    // address across time -- its deadlock detector then reports
+    // cycles no live acquisition order can produce. (Live edges are
+    // acyclic: PathLockGuard locks shallow-first along ancestor
+    // chains and parent_ is construction-only, so the relative order
+    // of two live heaps can never invert.)
+    __tsan_mutex_destroy(&lock_, 0);
+#endif
+  }
 
   Heap* parent() const { return parent_; }
   std::uint32_t depth() const { return depth_; }
@@ -469,19 +553,31 @@ class Heap {
     return p;
   }
 
+  // Cold identity: fixed after construction, read-only thereafter.
   Heap* parent_;
   std::uint32_t depth_;
   ChunkPool* pool_;
-  std::atomic<std::size_t> remote_bytes_{0};       // promoted-into bytes
-  std::size_t next_chunk_bytes_ = kMinChunkBytes;  // doubles to kChunkBytes
-  char* top_ = nullptr;
+
+  // Owner-hot bump group, isolated on its own cache line: everything
+  // the inline alloc fast path (try_bump/bump_alloc) and the chunk
+  // bookkeeping behind it touch. Must not share a line with the
+  // remote-writer group below -- a promoting worker bumping
+  // remote_bytes_ would otherwise invalidate the owner's bump pointer
+  // line on every promotion.
+  alignas(64) char* top_ = nullptr;
   char* end_ = nullptr;
-  Chunk* head_ = nullptr;
   Chunk* tail_ = nullptr;
+  Chunk* head_ = nullptr;
+  std::size_t next_chunk_bytes_ = kMinChunkBytes;  // doubles to kChunkBytes
   std::size_t bytes_ = 0;           // chunk footprint owned by this heap
   std::size_t allocated_full_ = 0;  // object bytes in retired chunks
-  std::mutex lock_;
+
+  // Remote group: written by OTHER workers promoting into this heap
+  // (remote_bytes_ under the promotion protocol, the locks by the
+  // coarse/fine promotion paths).
+  alignas(64) std::atomic<std::size_t> remote_bytes_{0};  // promoted-into
   SpinLock remote_lock_;
+  std::mutex lock_;
 };
 
 // Walk every object of `heap` in allocation order, invoking

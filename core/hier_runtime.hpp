@@ -183,7 +183,7 @@ class HierRuntime {
       if (heap_->chunks() == nullptr) {
         return;
       }
-      std::size_t live = leaf_gc_collect(heap_, &rt_->stats_,
+      std::size_t live = leaf_gc_collect(heap_, &rt_->stats_.local(),
                                          [this](auto&& fn) {
                                            for (RootFrame* f = frames_;
                                                 f != nullptr; f = f->prev()) {
@@ -220,13 +220,13 @@ class HierRuntime {
           f->for_each_slot(fn);
         }
       });
-      rt_->stats_.gc_count.fetch_add(1, std::memory_order_relaxed);
-      rt_->stats_.gc_bytes_copied.fetch_add(out.totals.bytes_copied,
+      rt_->stats_.local().gc_count.fetch_add(1, std::memory_order_relaxed);
+      rt_->stats_.local().gc_bytes_copied.fetch_add(out.totals.bytes_copied,
                                             std::memory_order_relaxed);
       // gc_ns aggregates per-worker busy time, like concurrent leaf
       // collections do (NOT wall * team: spawn/join overhead and the
       // other workers' lifetimes are not this team's copy work).
-      rt_->stats_.gc_ns.fetch_add(out.totals.busy_ns,
+      rt_->stats_.local().gc_ns.fetch_add(out.totals.busy_ns,
                                   std::memory_order_relaxed);
       rescale_budget(out.totals.bytes_copied);
     }
@@ -302,7 +302,7 @@ class HierRuntime {
     // The caller then retries the allocation once; a second failure is
     // the program's real OOM.
     void emergency_collect() {
-      rt_->stats_.emergency_gcs.fetch_add(1, std::memory_order_relaxed);
+      rt_->stats_.local().emergency_gcs.fetch_add(1, std::memory_order_relaxed);
       collect_now();
       if (__builtin_expect(rt_->sp_enabled_, 0)) {
         rt_->drive_emergency_gc();
@@ -322,7 +322,7 @@ class HierRuntime {
         Object* d = Object::chase(o);
         Heap* hd = heap_of(d);
         if (v != nullptr && heap_of(v)->depth() > hd->depth()) {
-          promote_and_store(d, idx, v, heap_, mode_, &rt_->stats_);
+          promote_and_store(d, idx, v, heap_, mode_, &rt_->stats_.local());
           if (__builtin_expect(rt_->sp_enabled_, 0)) {
             // Only a doorbell: the caller may legally hold raw
             // pointers across write_ptr, so the collection itself
@@ -429,7 +429,7 @@ class HierRuntime {
     using RB = rtapi::BranchResult<G, Ctx>;
 
     HierRuntime* rt = ctx.rt_;
-    rt->stats_.forks.fetch_add(1, std::memory_order_relaxed);
+    rt->stats_.local().forks.fetch_add(1, std::memory_order_relaxed);
     Heap* parent = ctx.heap_;
 
     const bool sp = rt->sp_enabled_;
@@ -710,17 +710,17 @@ class HierRuntime {
       core::ParallelGcOutcome out = internal_gc_collect_parallel(
           chunks_, h, heaps, opts_.gc_parallel_team, frame_roots);
       live = out.totals.bytes_copied;
-      stats_.gc_count.fetch_add(1, std::memory_order_relaxed);
-      stats_.gc_bytes_copied.fetch_add(live, std::memory_order_relaxed);
-      stats_.gc_ns.fetch_add(out.totals.busy_ns, std::memory_order_relaxed);
+      stats_.local().gc_count.fetch_add(1, std::memory_order_relaxed);
+      stats_.local().gc_bytes_copied.fetch_add(live, std::memory_order_relaxed);
+      stats_.local().gc_ns.fetch_add(out.totals.busy_ns, std::memory_order_relaxed);
       if (bill_internal) {
-        stats_.internal_gc_count.fetch_add(1, std::memory_order_relaxed);
-        stats_.internal_gc_bytes.fetch_add(live, std::memory_order_relaxed);
+        stats_.local().internal_gc_count.fetch_add(1, std::memory_order_relaxed);
+        stats_.local().internal_gc_bytes.fetch_add(live, std::memory_order_relaxed);
       }
     } else if (bill_internal) {
-      live = internal_gc_collect(h, heaps, &stats_, frame_roots);
+      live = internal_gc_collect(h, heaps, &stats_.local(), frame_roots);
     } else {
-      live = leaf_gc_collect(h, &stats_, [&](auto&& fn) {
+      live = leaf_gc_collect(h, &stats_.local(), [&](auto&& fn) {
         detail::internal_gc_emit_roots(h, heaps, frame_roots, fn);
       });
     }
@@ -778,7 +778,7 @@ class HierRuntime {
   Options opts_;
   bool sp_enabled_ = false;  // internal collection or GC-stress on
   ChunkPool chunks_;
-  StatsCell stats_;
+  ShardedStats stats_{WorkStealPool::resolved_workers(opts_.workers)};
   WorkStealPool pool_;
   SafepointGate gate_;             // pause/resume of the running set
   std::vector<WorkerSlot> slots_;  // per-worker ctx registries

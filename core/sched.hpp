@@ -4,9 +4,28 @@
 // what keeps hierarchical heaps promotion-free on balanced work) or
 // helps by stealing other tasks until the thief finishes.
 //
+// The deques are per-worker Chase-Lev lock-free deques
+// (core/deque.hpp): the uncontended fork2 push+pop cycle touches no
+// mutex and no shared cache line beyond the deque's own bottom index.
 // Tasks are stack-allocated by fork2 and joined before the frame dies,
-// so the deques hold raw pointers and never allocate per fork beyond
-// the vector push.
+// so the deques hold raw pointers and never allocate per fork (ring
+// growth aside).
+//
+// Deque <-> gate memory-ordering contract (shared with SafepointGate
+// below and the STW runtime's inlined copy of the same protocol): a
+// task sitting in a deque is INERT -- it is not a member of any gate's
+// running set and holds no heap or runtime state that a stopper could
+// need quiesced. A task joins the running set only when the worker
+// that dequeued it executes it and that execution activates the gate
+// (branch_enter / the STW fork path), which is a seq_cst RMW on the
+// executing worker's own slot, Dekker-paired with the stopper's
+// seq_cst stop-flag store + count read. Stoppers therefore never
+// inspect deque contents, and the deque's internal orderings only have
+// to publish the task payload from pusher to taker (see
+// core/deque.hpp); no ordering edge between deque indices and gate
+// flags is required for stop correctness. The one cross-component
+// ordering this file does own is the push-vs-park Dekker pair on
+// sleepers_, documented at push()/park_worker().
 #pragma once
 
 #include <unistd.h>
@@ -15,11 +34,15 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "deque.hpp"
 
 namespace parmem {
 
@@ -66,16 +89,25 @@ class WorkStealPool {
     ~Task() = default;
   };
 
-  explicit WorkStealPool(unsigned workers) {
+  // The worker count an Options value of `workers` resolves to (0 =
+  // hardware concurrency). Exposed so runtimes can size per-worker
+  // state (sharded stats, chunk caches) declared BEFORE their pool
+  // member without reordering destruction.
+  static unsigned resolved_workers(unsigned workers) {
     if (workers == 0) {
       workers = std::thread::hardware_concurrency();
       if (workers == 0) {
         workers = 1;
       }
     }
+    return workers;
+  }
+
+  explicit WorkStealPool(unsigned workers) {
+    workers = resolved_workers(workers);
     deques_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
-      deques_.push_back(std::make_unique<Deque>());
+      deques_.push_back(std::make_unique<ChaseLevDeque<Task>>());
     }
     // Worker 0 is the thread that calls run(); spawn the rest.
     for (unsigned i = 1; i < workers; ++i) {
@@ -84,9 +116,13 @@ class WorkStealPool {
   }
 
   ~WorkStealPool() {
-    stop_.store(true, std::memory_order_release);
+    stop_.store(true, std::memory_order_seq_cst);
     {
+      // The epoch bump under the lock makes the stop visible to a
+      // parker between its predicate check and its wait (same protocol
+      // as wake_one, see push()).
       std::lock_guard<std::mutex> g(sleep_mu_);
+      wake_epoch_.fetch_add(1, std::memory_order_release);
     }
     sleep_cv_.notify_all();
     for (std::thread& t : threads_) {
@@ -119,35 +155,51 @@ class WorkStealPool {
     std::pair<WorkStealPool*, unsigned> saved_;
   };
 
+  // Owner-side push: lock-free deque push, then a fence-free sleeper
+  // check. This is deliberately an ASYMMETRIC Dekker pair: the parker
+  // pays a seq_cst RMW + fence before its rescan (park_worker), while
+  // the pusher pays only plain stores and a relaxed load -- a fence
+  // here would put an mfence on every fork2 and measurably tax the
+  // uncontended cycle. The cost of the asymmetry is one narrow window
+  // (this push's store still in the store buffer while the sleepers_
+  // load reads a pre-announce 0, i.e. both sides miss each other
+  // within one store-buffer drain, tens of ns) in which a wake is
+  // lost; park_worker's bounded wait_for turns that into a <=10 ms
+  // delay, not a hang. Every wake the pusher DOES observe is
+  // guaranteed delivered by the wake_epoch_ protocol, which is what
+  // lets the park timeout be long: the old code lost wakes
+  // systematically (notify_one racing the pre-wait window), so its
+  // 500 us poll was load-bearing; here the timeout is a safety net
+  // for a provably rare race only.
   void push(Task* t) {
     auto [pool, idx] = tls();
     assert(pool == this && "fork2 must run on a thread owned by its runtime");
-    Deque& d = *deques_[idx];
-    {
-      std::lock_guard<std::mutex> g(d.mu);
-      d.tasks.push_back(t);
-    }
-    if (sleepers_.load(std::memory_order_relaxed) > 0) {
-      sleep_cv_.notify_one();
+    deques_[idx]->push(t);
+    if (__builtin_expect(sleepers_.load(std::memory_order_relaxed) > 0, 0)) {
+      wake_one();
     }
   }
 
-  // Remove `t` if it is still the newest entry of our own deque (i.e.
-  // it was not stolen). Returns true when the caller should run it
-  // inline.
+  // Remove `t` if it was not stolen. fork2 nesting makes this exact:
+  // every task pushed after `t` on this deque has already been joined
+  // (popped or stolen) by the time `t`'s join runs, so `t` is the
+  // newest entry if present at all; and thieves drain from the top
+  // (oldest first), so if `t` was stolen the whole deque below it was
+  // stolen first and pop() sees empty. Hence pop() returns `t` or
+  // nullptr, never a different task. Returns true when the caller
+  // should run `t` inline.
   bool cancel(Task* t) {
     auto [pool, idx] = tls();
     assert(pool == this);
-    Deque& d = *deques_[idx];
-    std::lock_guard<std::mutex> g(d.mu);
-    if (!d.tasks.empty() && d.tasks.back() == t) {
-      d.tasks.pop_back();
-      return true;
-    }
-    return false;
+    Task* p = deques_[idx]->pop();
+    assert((p == t || p == nullptr) &&
+           "fork2 joins must nest: cancel target is newest-or-stolen");
+    return p == t;
   }
 
-  // Join loop: execute other tasks until `done` returns true.
+  // Join loop: execute other tasks until `done` returns true. Spins /
+  // yields but never parks on sleep_cv_ -- `done` flips on a plain
+  // atomic the finishing thief does not pair with the condvar.
   template <class Pred>
   void help_until(Pred&& done) {
     unsigned idle = 0;
@@ -163,11 +215,6 @@ class WorkStealPool {
   }
 
  private:
-  struct Deque {
-    std::mutex mu;
-    std::vector<Task*> tasks;
-  };
-
   static std::pair<WorkStealPool*, unsigned>& tls() {
     static thread_local std::pair<WorkStealPool*, unsigned> slot{nullptr, 0};
     return slot;
@@ -189,46 +236,129 @@ class WorkStealPool {
     }
   }
 
-  // Steal the OLDEST task from any deque (FIFO end: big, forked-early
-  // work), scanning from our own index to spread contention.
+  // Per-thread xorshift64 for victim selection; seeded from the thread
+  // identity so thieves do not sweep victims in lockstep.
+  static std::uint64_t next_rand() {
+    static thread_local std::uint64_t state =
+        0x9e3779b97f4a7c15ull ^
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    std::uint64_t x = state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state = x;
+    return x;
+  }
+
+  // Take the OLDEST available task: own deque's top first (a pending
+  // sibling branch from an enclosing fork2 -- running it inline is the
+  // cheapest possible "steal"), then one randomized sweep over the
+  // other workers. A lost steal CAS shows up as nullptr from one
+  // victim; callers loop, so a single attempt per victim per sweep is
+  // enough and keeps thieves from convoying on one deque.
   Task* try_steal() {
     auto [pool, idx] = tls();
     unsigned n = workers();
-    for (unsigned k = 0; k < n; ++k) {
-      Deque& d = *deques_[(idx + k) % n];
-      std::lock_guard<std::mutex> g(d.mu);
-      if (!d.tasks.empty()) {
-        Task* t = d.tasks.front();
-        d.tasks.erase(d.tasks.begin());
-        return t;
+    if (Task* t = deques_[idx]->steal()) {
+      return t;
+    }
+    if (n > 1) {
+      unsigned start = static_cast<unsigned>(next_rand() % n);
+      for (unsigned k = 0; k < n; ++k) {
+        unsigned v = (start + k) % n;
+        if (v == idx) {
+          continue;
+        }
+        if (Task* t = deques_[v]->steal()) {
+          return t;
+        }
       }
     }
     return nullptr;
   }
 
+  bool any_work() const {
+    for (const auto& d : deques_) {
+      if (!d->empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Wake path, only reached when a pusher observed sleepers_ > 0: bump
+  // the epoch under sleep_mu_ so a parker between its announce/rescan
+  // and its wait sees the wake through the condvar predicate, then
+  // notify. Cost is confined to genuinely-idle periods.
+  void wake_one() {
+    {
+      std::lock_guard<std::mutex> g(sleep_mu_);
+      wake_epoch_.fetch_add(1, std::memory_order_release);
+    }
+    sleep_cv_.notify_one();
+  }
+
+  // Parker's half of the asymmetric push-vs-park pair (see push()):
+  // announce on sleepers_ with a seq_cst RMW, fence, THEN rescan the
+  // deques -- so any push whose sleepers_ check completed before our
+  // announce became visible is seen by this rescan and we bail out
+  // without sleeping. If the pusher saw our announce, its wake_one
+  // either bumps wake_epoch_ before our wait (the predicate catches
+  // it, closing the old check-then-park window) or notifies us out of
+  // the wait. The wait_for timeout only backstops the pusher-side
+  // store-buffer race push() documents.
+  void park_worker() {
+    std::uint64_t seq = wake_epoch_.load(std::memory_order_acquire);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (stop_.load(std::memory_order_acquire) || any_work()) {
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      sleep_cv_.wait_for(lk, std::chrono::milliseconds(10), [&] {
+        return wake_epoch_.load(std::memory_order_acquire) != seq ||
+               stop_.load(std::memory_order_acquire);
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
   void worker_main(unsigned idx) {
     tls() = {this, idx};
+    unsigned idle = 0;
     while (!stop_.load(std::memory_order_acquire)) {
       Task* t = try_steal();
       if (t != nullptr) {
         t->execute();
+        idle = 0;
         continue;
       }
-      std::unique_lock<std::mutex> lk(sleep_mu_);
-      if (stop_.load(std::memory_order_acquire)) {
-        break;
+      // Exponential backoff before parking: spin briefly (steals are
+      // usually satisfied within a few cycles on busy workloads),
+      // yield for a while, then park for real.
+      if (idle < 64) {
+        cpu_relax();
+        ++idle;
+      } else if (idle < 192) {
+        std::this_thread::yield();
+        ++idle;
+      } else {
+        park_worker();
       }
-      sleepers_.fetch_add(1, std::memory_order_relaxed);
-      sleep_cv_.wait_for(lk, std::chrono::microseconds(500));
-      sleepers_.fetch_sub(1, std::memory_order_relaxed);
     }
     tls() = {nullptr, 0};
   }
 
-  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::unique_ptr<ChaseLevDeque<Task>>> deques_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
-  std::atomic<int> sleepers_{0};
+  // sleepers_ and wake_epoch_ each get their own line: sleepers_ is
+  // read by every push, wake_epoch_ only inside the (rare) park/wake
+  // paths.
+  alignas(64) std::atomic<int> sleepers_{0};
+  alignas(64) std::atomic<std::uint64_t> wake_epoch_{0};
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
 };

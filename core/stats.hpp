@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 namespace parmem {
 
@@ -38,6 +39,21 @@ struct Stats {
   // collected everything it could before retrying. Also counted in
   // gc_count; a nonzero value means the computation ran degraded.
   std::uint64_t emergency_gcs = 0;
+
+  Stats& operator+=(const Stats& o) {
+    promotions += o.promotions;
+    promoted_objects += o.promoted_objects;
+    promoted_bytes += o.promoted_bytes;
+    promo_claim_conflicts += o.promo_claim_conflicts;
+    gc_count += o.gc_count;
+    gc_bytes_copied += o.gc_bytes_copied;
+    gc_ns += o.gc_ns;
+    forks += o.forks;
+    internal_gc_count += o.internal_gc_count;
+    internal_gc_bytes += o.internal_gc_bytes;
+    emergency_gcs += o.emergency_gcs;
+    return *this;
+  }
 
   Stats operator-(const Stats& o) const {
     Stats d;
@@ -86,6 +102,59 @@ struct StatsCell {
     s.emergency_gcs = emergency_gcs.load(std::memory_order_relaxed);
     return s;
   }
+};
+
+// Stable small integer id for the calling thread, assigned on first
+// use and fixed for the thread's lifetime. Shard pickers (stats,
+// chunk caches) reduce it modulo their own power-of-two shard count;
+// ids are never recycled, so two live threads never share an id (they
+// may share a shard, which is a contention question, not correctness).
+inline unsigned thread_shard_id() {
+  static std::atomic<unsigned> next{0};
+  static thread_local unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Per-worker sharded counter block: each shard is a full StatsCell on
+// its own cache line(s), so workers bumping counters on hot slow paths
+// (forks, promotions, chunk traffic) never bounce a shared line.
+// Aggregated on read -- snapshot() sums every shard, which is exact
+// because each counter is monotonic and relaxed adds commute. Code
+// that hands a counter block to a collector still passes a plain
+// StatsCell* (`&stats.local()`), so the collector interfaces are
+// unchanged.
+class ShardedStats {
+ public:
+  // `shards` is rounded up to a power of two; pass the resolved worker
+  // count (threads beyond it fold onto existing shards by modulo).
+  explicit ShardedStats(unsigned shards) {
+    unsigned n = 1;
+    while (n < shards) {
+      n <<= 1;
+    }
+    mask_ = n - 1;
+    cells_ = std::make_unique<Cell[]>(n);
+  }
+
+  StatsCell& local() { return cells_[thread_shard_id() & mask_].c; }
+  unsigned shard_count() const { return mask_ + 1; }
+
+  Stats snapshot() const {
+    Stats total;
+    for (unsigned i = 0; i <= mask_; ++i) {
+      total += cells_[i].c.snapshot();
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    StatsCell c;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  unsigned mask_;
 };
 
 }  // namespace parmem

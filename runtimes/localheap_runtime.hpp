@@ -151,7 +151,7 @@ class LhRuntime {
 
     void collect_now() {
       WorkerState* w = w_;
-      std::size_t live = leaf_gc_collect(&w->heap, &rt_->stats_,
+      std::size_t live = leaf_gc_collect(&w->heap, &rt_->stats_.local(),
                                          [w](auto&& fn) {
                                            for (RootFrame* f = w->frames;
                                                 f != nullptr; f = f->prev()) {
@@ -198,7 +198,7 @@ class LhRuntime {
         // are not safely collectable from here, and the global heap is
         // reclaimed only at run() end -- both by design.)
         collect_now();
-        rt_->stats_.emergency_gcs.fetch_add(1, std::memory_order_relaxed);
+        rt_->stats_.local().emergency_gcs.fetch_add(1, std::memory_order_relaxed);
         o = w_->heap.bump_alloc(nptr, nscalar);
       }
       o->zero_fields();
@@ -262,7 +262,7 @@ class LhRuntime {
     using RB = rtapi::BranchResult<G, Ctx>;
 
     LhRuntime* rt = ctx.rt_;
-    rt->stats_.forks.fetch_add(1, std::memory_order_relaxed);
+    rt->stats_.local().forks.fetch_add(1, std::memory_order_relaxed);
 
     // Spawn-time promotion: the spawned computation (and, symmetrically,
     // the continuation) may run on any worker, so everything its
@@ -329,17 +329,17 @@ class LhRuntime {
     std::lock_guard<std::mutex> g(global_.path_lock());
     detail::PromoteResult res = detail::promote_coarse_locked(v, &global_);
     if (res.objects != 0) {
-      stats_.promotions.fetch_add(1, std::memory_order_relaxed);
-      stats_.promoted_objects.fetch_add(res.objects,
+      stats_.local().promotions.fetch_add(1, std::memory_order_relaxed);
+      stats_.local().promoted_objects.fetch_add(res.objects,
                                         std::memory_order_relaxed);
-      stats_.promoted_bytes.fetch_add(res.bytes, std::memory_order_relaxed);
+      stats_.local().promoted_bytes.fetch_add(res.bytes, std::memory_order_relaxed);
     }
     return res.master;
   }
 
   Options opts_;
   ChunkPool chunks_;
-  StatsCell stats_;
+  ShardedStats stats_{WorkStealPool::resolved_workers(opts_.workers)};
   Heap global_;  // depth 0: the shared promotion target
   std::vector<std::unique_ptr<WorkerState>> workers_;  // depth-1 local heaps
   WorkStealPool pool_;  // last member: joins threads before heaps die

@@ -84,7 +84,7 @@ class SeqRuntime {
     Object* publish(Object* v) { return v; }
 
     void collect_now() {
-      std::size_t live = leaf_gc_collect(heap_, &rt_->stats_,
+      std::size_t live = leaf_gc_collect(heap_, &rt_->stats_.local(),
                                          [this](auto&& fn) {
                                            for (RootFrame* f = frames_;
                                                 f != nullptr; f = f->prev()) {
@@ -124,7 +124,7 @@ class SeqRuntime {
         // one heap there is, then retry exactly once. A second failure
         // is the program's real OOM and propagates.
         collect_now();
-        rt_->stats_.emergency_gcs.fetch_add(1, std::memory_order_relaxed);
+        rt_->stats_.local().emergency_gcs.fetch_add(1, std::memory_order_relaxed);
         o = heap_->bump_alloc(nptr, nscalar);
       }
       o->zero_fields();
@@ -167,7 +167,7 @@ class SeqRuntime {
   static auto fork2(Ctx& ctx, std::initializer_list<Local> roots, F&& f,
                     G&& g) {
     (void)roots;
-    ctx.rt_->stats_.forks.fetch_add(1, std::memory_order_relaxed);
+    ctx.rt_->stats_.local().forks.fetch_add(1, std::memory_order_relaxed);
     using RA = rtapi::BranchResult<F, Ctx>;
     using RB = rtapi::BranchResult<G, Ctx>;
     RA ra = rtapi::invoke_branch(f, ctx);
@@ -178,7 +178,7 @@ class SeqRuntime {
  private:
   Options opts_;
   ChunkPool chunks_;
-  StatsCell stats_;
+  ShardedStats stats_{1};  // sequential: one shard
 };
 
 static_assert(RuntimeLike<SeqRuntime>);

@@ -147,7 +147,7 @@ class StwRuntime {
         // collection itself propagates from collect() instead of
         // looping back here.
         rt_->collect(this, /*force=*/true);
-        rt_->stats_.emergency_gcs.fetch_add(1, std::memory_order_relaxed);
+        rt_->stats_.local().emergency_gcs.fetch_add(1, std::memory_order_relaxed);
         o = heap_.bump_alloc(nptr, nscalar);
       }
       o->zero_fields();
@@ -199,7 +199,7 @@ class StwRuntime {
     using RB = rtapi::BranchResult<G, Ctx>;
 
     StwRuntime* rt = ctx.rt_;
-    rt->stats_.forks.fetch_add(1, std::memory_order_relaxed);
+    rt->stats_.local().forks.fetch_add(1, std::memory_order_relaxed);
 
     // The parent leaves the running set FIRST: a pending collection
     // must never wait on a task that is blocked in fork2 rather than
@@ -424,19 +424,19 @@ class StwRuntime {
       lk.lock();
       gc_team_ = nullptr;
       live = out.totals.bytes_copied;
-      stats_.gc_count.fetch_add(1, std::memory_order_relaxed);
-      stats_.gc_bytes_copied.fetch_add(live, std::memory_order_relaxed);
+      stats_.local().gc_count.fetch_add(1, std::memory_order_relaxed);
+      stats_.local().gc_bytes_copied.fetch_add(live, std::memory_order_relaxed);
       auto wall = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
               .count());
       // The pause costs every worker the full wall time, team member
       // or not.
-      stats_.gc_ns.fetch_add(wall * pool_.workers(),
+      stats_.local().gc_ns.fetch_add(wall * pool_.workers(),
                              std::memory_order_relaxed);
     } else {
       try {
-        live = leaf_gc_collect(&me->heap_, &stats_, each_root);
+        live = leaf_gc_collect(&me->heap_, &stats_.local(), each_root);
       } catch (...) {
         gc_pending_ = false;
         gc_flag_.store(false, std::memory_order_seq_cst);
@@ -458,7 +458,7 @@ class StwRuntime {
 
   Options opts_;
   ChunkPool chunks_;
-  StatsCell stats_;
+  ShardedStats stats_{WorkStealPool::resolved_workers(opts_.workers)};
   std::atomic<std::size_t> gc_budget_;
 
   std::mutex mu_;                     // collection paths only
