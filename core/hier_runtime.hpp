@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
@@ -175,10 +176,11 @@ class HierRuntime {
     // heap at an intermediate join) -- but ancestor frames cannot be
     // scanned from a RUNNING task without racing sibling branches that
     // publish into them concurrently. So this collection is only sound
-    // under the runtime-api contract's publish discipline; join
-    // collections switch to the stopped-world all-frames path whenever
-    // the safepoint machinery is enabled (see fork2), which the
-    // GC-stress harness exercises on every join.
+    // under the runtime-api contract's publish discipline; threshold
+    // join collections take the stopped-world all-frames path instead
+    // (a nonzero gc_join_threshold enables the safepoint machinery,
+    // see the constructor), which the GC-stress harness exercises on
+    // every join.
     void collect_now() {
       if (heap_->chunks() == nullptr) {
         return;
@@ -375,8 +377,13 @@ class HierRuntime {
     if (!opts_.failpoints.empty()) {
       failpoint::install(opts_.failpoints);
     }
+    // A nonzero join threshold enables the safepoint machinery too
+    // (same escalation the budget uses): join collections must root
+    // from EVERY task's frames, because a branch may publish its
+    // result into an arbitrary ancestor Local -- the single-frame
+    // collect_now path would drop such a result during the merge.
     sp_enabled_ = opts_.gc_stress || opts_.gc_internal_threshold != 0 ||
-                  chunks_.budget() != 0;
+                  opts_.gc_join_threshold != 0 || chunks_.budget() != 0;
   }
   HierRuntime(const HierRuntime&) = delete;
   HierRuntime& operator=(const HierRuntime&) = delete;
@@ -386,6 +393,12 @@ class HierRuntime {
   Stats stats() const { return stats_.snapshot(); }
   std::size_t peak_bytes() const { return chunks_.peak_bytes(); }
   std::size_t live_bytes() const { return chunks_.live_bytes(); }
+  // Scheduler idle churn (timed-out parks); see WorkStealPool. The
+  // serve-harness quiescence test asserts this stays near zero while
+  // the runtime sits idle between request bursts.
+  std::uint64_t scheduler_idle_wakeups() const {
+    return pool_.idle_wakeups();
+  }
 
   // Execute `f(ctx)` as the root task, on the calling thread, with a
   // fresh depth-0 heap that is torn down when f returns.
@@ -468,18 +481,14 @@ class HierRuntime {
       // Join-time subtree collection: the two-sibling subtree just
       // merged into `parent` is quiesced (both branches joined), so it
       // can be evacuated here -- by a team when gc_parallel_team asks
-      // for one. GC-stress forces it at every join. With the safepoint
-      // machinery on, the collection stops the world and roots from
-      // EVERY task's frames, so results published into any ancestor
-      // Local survive; without it, roots are this task's frames only
-      // and the runtime-api publish discipline is required.
-      if (__builtin_expect(sp, 0)) {
-        rt->stopped_join_collect(&ctx);
-      } else if (rt->opts_.gc_parallel_team > 1) {
-        ctx.parallel_collect_now(rt->opts_.gc_parallel_team);
-      } else {
-        ctx.collect_now();
-      }
+      // for one (stopped_collect_heap applies it). GC-stress forces it
+      // at every join. Both trigger conditions imply sp_enabled_ (see
+      // the constructor), so the collection always stops the world and
+      // roots from EVERY task's frames: results published into
+      // arbitrary ancestor Locals survive the merge, which the
+      // single-frame collect_now path used to drop.
+      assert(sp && "join collection without the safepoint machinery");
+      rt->stopped_join_collect(&ctx);
     }
 
     if (err_a) {

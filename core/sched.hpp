@@ -132,6 +132,18 @@ class WorkStealPool {
 
   unsigned workers() const { return static_cast<unsigned>(deques_.size()); }
 
+  // How long a parked worker sleeps before its backstop re-check (see
+  // park_worker for why this is safe to make long).
+  static constexpr std::chrono::milliseconds kParkBackstop{500};
+
+  // Parks that ended in the wait_for timeout with nothing to do -- the
+  // idle-churn metric a long-running server pays as permanent wakeup
+  // CPU. A quiescent pool accrues at most one per worker per
+  // kParkBackstop; the serve-harness quiescence test pins that.
+  std::uint64_t idle_wakeups() const {
+    return idle_wakeups_.load(std::memory_order_relaxed);
+  }
+
   // Index of the calling thread within this pool (0 is the thread that
   // entered run()). Runtimes with per-worker state (local heaps) key it
   // off this.
@@ -164,10 +176,10 @@ class WorkStealPool {
   // (this push's store still in the store buffer while the sleepers_
   // load reads a pre-announce 0, i.e. both sides miss each other
   // within one store-buffer drain, tens of ns) in which a wake is
-  // lost; park_worker's bounded wait_for turns that into a <=10 ms
-  // delay, not a hang. Every wake the pusher DOES observe is
-  // guaranteed delivered by the wake_epoch_ protocol, which is what
-  // lets the park timeout be long: the old code lost wakes
+  // lost; park_worker's bounded wait_for turns that into a
+  // <=kParkBackstop delay, not a hang. Every wake the pusher DOES
+  // observe is guaranteed delivered by the wake_epoch_ protocol, which
+  // is what lets the park timeout be long: the old code lost wakes
   // systematically (notify_one racing the pre-wait window), so its
   // 500 us poll was load-bearing; here the timeout is a safety net
   // for a provably rare race only.
@@ -306,7 +318,12 @@ class WorkStealPool {
   // either bumps wake_epoch_ before our wait (the predicate catches
   // it, closing the old check-then-park window) or notifies us out of
   // the wait. The wait_for timeout only backstops the pusher-side
-  // store-buffer race push() documents.
+  // store-buffer race push() documents -- a tens-of-ns window -- so it
+  // can be long: the old 10 ms value had every parked worker waking at
+  // 100 Hz forever, idle CPU a steady-state server pays for nothing.
+  // The worst case a lost wake now costs is one branch waiting
+  // kParkBackstop to be stolen (its owner can still pop it back
+  // meanwhile), traded for near-zero idle churn.
   void park_worker() {
     std::uint64_t seq = wake_epoch_.load(std::memory_order_acquire);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
@@ -317,10 +334,13 @@ class WorkStealPool {
     }
     {
       std::unique_lock<std::mutex> lk(sleep_mu_);
-      sleep_cv_.wait_for(lk, std::chrono::milliseconds(10), [&] {
+      bool woken = sleep_cv_.wait_for(lk, kParkBackstop, [&] {
         return wake_epoch_.load(std::memory_order_acquire) != seq ||
                stop_.load(std::memory_order_acquire);
       });
+      if (!woken) {
+        idle_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     sleepers_.fetch_sub(1, std::memory_order_seq_cst);
   }
@@ -359,6 +379,7 @@ class WorkStealPool {
   // paths.
   alignas(64) std::atomic<int> sleepers_{0};
   alignas(64) std::atomic<std::uint64_t> wake_epoch_{0};
+  std::atomic<std::uint64_t> idle_wakeups_{0};  // timed-out parks (cold path)
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
 };

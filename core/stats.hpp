@@ -72,6 +72,26 @@ struct Stats {
   }
 };
 
+// Point-in-time view of a runtime's counters plus its memory
+// occupancy, cheap enough to take from a sampler thread while the
+// world keeps running: every source is a relaxed atomic (sharded
+// counters, the chunk pool's live/peak gauges), so no collection, no
+// lock, and no safepoint is involved. Steady-state consumers (the
+// serve harness's RSS/fragmentation sampling, the soak tests) diff two
+// of these around an interval; live_bytes is the denominator of the
+// fragmentation ratio RSS / live.
+struct StatsSnapshot {
+  Stats stats;                 // monotonic counters (diff two snapshots)
+  std::size_t live_bytes = 0;  // chunk bytes currently checked out
+  std::size_t peak_bytes = 0;  // lifetime high-water chunk footprint
+
+  // Counter delta over [earlier, this]. Memory gauges are levels, not
+  // counters, so the caller reads them off each endpoint directly.
+  Stats interval_since(const StatsSnapshot& earlier) const {
+    return stats - earlier.stats;
+  }
+};
+
 // Shared mutable counter block; one per runtime instance.
 struct StatsCell {
   std::atomic<std::uint64_t> promotions{0};

@@ -14,6 +14,9 @@
 //   RT(opts) / rt.workers()           construction + resolved worker count
 //   rt.stats() -> Stats               monotonic counter snapshot
 //   rt.peak_bytes() -> size_t         lifetime high-water chunk footprint
+//   rt.live_bytes() -> size_t         chunk bytes currently checked out
+//                                     (readable concurrently; the serve
+//                                     harness samples it mid-run)
 //   rt.run(f) -> f(ctx)               execute f as the root task
 //   RT::fork2(ctx, {roots}, f, g)     fork-join returning {f res, g res};
 //                                     `roots` lists every parent Local the
@@ -148,6 +151,20 @@ class SpawnedBranch final : public WorkStealPool::Task {
   std::atomic<bool> done_{false};
 };
 
+// Lock-free point-in-time sample of a runtime's counters + memory
+// gauges (core/stats.hpp StatsSnapshot). Safe to call from a thread
+// outside the runtime's pool while tasks keep running -- the
+// steady-state surface the serve harness samples RSS/fragmentation
+// against.
+template <class RT>
+StatsSnapshot snapshot_of(const RT& rt) {
+  StatsSnapshot s;
+  s.stats = rt.stats();
+  s.live_bytes = rt.live_bytes();
+  s.peak_bytes = rt.peak_bytes();
+  return s;
+}
+
 }  // namespace rtapi
 
 // Compile-time check of the non-template part of the surface (run and
@@ -161,6 +178,7 @@ concept RuntimeLike = requires(const RT& crt, typename RT::Ctx& ctx,
   { crt.workers() } -> std::convertible_to<unsigned>;
   { crt.stats() } -> std::same_as<Stats>;
   { crt.peak_bytes() } -> std::convertible_to<std::size_t>;
+  { crt.live_bytes() } -> std::convertible_to<std::size_t>;
   { ctx.alloc(0u, 1u) } -> std::same_as<Object*>;
   { RT::Ctx::init_i64(o, 0u, std::int64_t{0}) };
   { RT::Ctx::init_ptr(o, 0u, o) };

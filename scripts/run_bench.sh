@@ -11,6 +11,9 @@
 #                                                policy sweep + controls)
 #   ablation_oom         -> BENCH_oom.txt        (bounded-memory degradation
 #                                                curve + allocation-fault sweep)
+#   serve                -> BENCH_serve.json     (steady-state serving: req/s,
+#                                                latency percentiles, RSS +
+#                                                fragmentation per runtime)
 #
 # Usage: scripts/run_bench.sh [--quick] [--bench=FILTER]
 #   --quick          smoke mode: short min-time / tiny sizes, for CI.
@@ -36,7 +39,7 @@ done
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
   --target micro_ops fig08_op_costs fig10_pure ablation_parallel_gc \
-           ablation_internal_gc ablation_oom >/dev/null
+           ablation_internal_gc ablation_oom serve >/dev/null
 
 # A filtered run is a subset: never let it overwrite the committed
 # baselines that later perf PRs (and CI's asserts) diff against.
@@ -127,11 +130,26 @@ if [ -z "$FILTER" ]; then
     | tee "$OUT_DIR/BENCH_oom.txt"
 fi
 
+# Steady-state serving baseline: fixed-count verify wave (checksums
+# must agree across all four runtimes; the driver exits nonzero on a
+# mismatch, so this is a correctness gate too) plus a fixed-duration
+# measured wave per runtime. Kernel-agnostic; a --bench filter skips it.
+if [ -z "$FILTER" ]; then
+  SERVE_ARGS=("--procs=2" "--json=$OUT_DIR/BENCH_serve.json")
+  if [ "$QUICK" -eq 1 ]; then
+    SERVE_ARGS+=("--quick" "--duration=2")
+  else
+    SERVE_ARGS+=("--duration=5")
+  fi
+  "$BUILD/serve" "${SERVE_ARGS[@]}"
+fi
+
 echo
 echo "results written: $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_fig08.txt," \
      "$OUT_DIR/BENCH_runtimes.json" \
      "${FILTER:+(parallel_gc + internal_gc + oom sections skipped under --bench)}"
 if [ -z "$FILTER" ]; then
   echo "                 + $OUT_DIR/BENCH_parallel_gc.txt," \
-       "$OUT_DIR/BENCH_internal_gc.txt, $OUT_DIR/BENCH_oom.txt"
+       "$OUT_DIR/BENCH_internal_gc.txt, $OUT_DIR/BENCH_oom.txt," \
+       "$OUT_DIR/BENCH_serve.json"
 fi

@@ -200,5 +200,64 @@ PARMEM_TEST(gc_join_threshold_collects_merged_subtree) {
   });
 }
 
+// Regression (join-GC soundness): a branch may publish its result into
+// ANY ancestor's Local -- here a grandchild publishes into the root
+// task's frame. With gc_join_threshold=1 every join collects; the
+// pre-fix path rooted only the joining task's own frames, so the
+// published object was unrooted during the inner join's collection,
+// its chunk was released, and the garbage allocated afterwards
+// overwrote it. A nonzero gc_join_threshold must therefore enable the
+// stopped-world all-frames join path (the same escalation heap budgets
+// use).
+//
+// Excluded from the CI GC-stress row: this pins a JOIN-collection
+// guarantee, but PARMEM_GC_STRESS also forces a LEAF collection at
+// every allocation, and leaf collections root only the owner task's
+// frames by design -- so the churn loop below would legitimately drop
+// the ancestor-published object under stress mode. Keeping a result
+// alive across further owner-side allocation still requires publishing
+// into the immediate parent's Local (the portability contract).
+PARMEM_TEST(gc_join_grandparent_publish_survives) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  opts.gc_join_threshold = 1;
+  HierRuntime rt(opts);
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    Local box = frame.local(nullptr);
+    HierRuntime::fork2(
+        ctx, {box},
+        [&box](Ctx& c) {
+          // Depth-1 branch: fork again, so the publisher below is a
+          // grandchild of the frame that owns `box`.
+          HierRuntime::fork2(
+              c, {box},
+              [&box](Ctx& cc) {
+                RootFrame f(cc);
+                Local keep = f.local(cc.alloc(0, 1));
+                Ctx::init_i64(keep.get(), 0, 4242);
+                box.set(cc.publish(keep.get()));
+                return std::int64_t{0};
+              },
+              [](Ctx&) { return std::int64_t{0}; });
+          // The inner join's threshold collection already ran. Churn
+          // through enough fresh allocations to recycle any chunk the
+          // collection wrongly released while `box` still pointed into
+          // it.
+          for (int i = 0; i < 20000; ++i) {
+            Object* junk = c.alloc(0, 3);
+            Ctx::init_i64(junk, 0, -1);
+            Ctx::init_i64(junk, 1, -1);
+            Ctx::init_i64(junk, 2, -1);
+          }
+          return std::int64_t{0};
+        },
+        [](Ctx&) { return std::int64_t{0}; });
+    CHECK(box.get() != nullptr);
+    CHECK_EQ(Ctx::read_i64_mut(box.get(), 0), 4242);
+    return 0;
+  });
+}
+
 }  // namespace
 }  // namespace parmem
