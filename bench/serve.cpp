@@ -152,6 +152,7 @@ int main(int argc, char** argv) {
   double duration_s = opt.quick ? 1.0 : 5.0;
   double warmup_s = 0.2;
   std::uint64_t verify_requests = opt.quick ? 90 : 600;
+  const char* runtime_filter = nullptr;  // --runtime=seq|stw|localheap|hier
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--duration=", 11) == 0) {
@@ -160,8 +161,19 @@ int main(int argc, char** argv) {
       warmup_s = std::strtod(a + 9, nullptr);
     } else if (std::strncmp(a, "--requests=", 11) == 0) {
       verify_requests = std::strtoull(a + 11, nullptr, 10);
+    } else if (std::strncmp(a, "--runtime=", 10) == 0) {
+      runtime_filter = a + 10;
     }
   }
+  // One-runtime mode for profiling: scripts/run_bench.sh profile runs
+  // the driver once per runtime so each flame graph / trace / stats
+  // recording covers exactly one system (the profiler and trace layers
+  // are process-wide). Cross-runtime checksum agreement still holds
+  // within whatever subset runs.
+  auto want = [runtime_filter](const char* name) {
+    return runtime_filter == nullptr ||
+           std::strcmp(runtime_filter, name) == 0;
+  };
 
   ServeConfig base;
   base.lanes = 0;  // one lane per worker
@@ -178,21 +190,31 @@ int main(int argc, char** argv) {
   print_rule(104);
 
   std::vector<ServeRow> rows;
-  rows.push_back(run_runtime<parmem::SeqRuntime>(1, base, verify_requests,
-                                                 duration_s, warmup_s));
-  print_row(rows.back());
-  rows.push_back(run_runtime<parmem::StwRuntime>(opt.procs, base,
-                                                 verify_requests, duration_s,
-                                                 warmup_s));
-  print_row(rows.back());
-  rows.push_back(run_runtime<parmem::LhRuntime>(opt.procs, base,
-                                                verify_requests, duration_s,
-                                                warmup_s));
-  print_row(rows.back());
-  rows.push_back(run_runtime<parmem::HierRuntime>(opt.procs, base,
-                                                  verify_requests, duration_s,
-                                                  warmup_s));
-  print_row(rows.back());
+  if (want(parmem::SeqRuntime::kName)) {
+    rows.push_back(run_runtime<parmem::SeqRuntime>(1, base, verify_requests,
+                                                   duration_s, warmup_s));
+    print_row(rows.back());
+  }
+  if (want(parmem::StwRuntime::kName)) {
+    rows.push_back(run_runtime<parmem::StwRuntime>(
+        opt.procs, base, verify_requests, duration_s, warmup_s));
+    print_row(rows.back());
+  }
+  if (want(parmem::LhRuntime::kName)) {
+    rows.push_back(run_runtime<parmem::LhRuntime>(
+        opt.procs, base, verify_requests, duration_s, warmup_s));
+    print_row(rows.back());
+  }
+  if (want(parmem::HierRuntime::kName)) {
+    rows.push_back(run_runtime<parmem::HierRuntime>(
+        opt.procs, base, verify_requests, duration_s, warmup_s));
+    print_row(rows.back());
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "unknown --runtime=%s (seq|stw|localheap|hier)\n",
+                 runtime_filter);
+    return 2;
+  }
 
   // Cross-runtime agreement on the fixed-count wave: same request set,
   // same per-request results, whatever the runtime and lane count.

@@ -17,7 +17,9 @@
 #include "core/failpoint.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
+#include "core/phase.hpp"
 #include "core/stats.hpp"
+#include "core/trace.hpp"
 
 namespace parmem {
 
@@ -34,6 +36,18 @@ std::size_t leaf_gc_collect(Heap* heap, StatsCell* stats,
     return 0;
   }
   auto t0 = std::chrono::steady_clock::now();
+  // This call bills gc_count exactly once below, so it records exactly
+  // one pause event; the KIND comes from the ambient phase -- a leaf
+  // scan driven by a join/internal collection IS that pause's copy
+  // step. The scope only retags to leaf-GC when not already inside a
+  // collection phase (keeps profiler samples attributed to the
+  // enclosing pause).
+  const phase::Phase ambient = phase::current();
+  const trace::Ev pause_kind = trace::pause_kind_from_phase(ambient);
+  phase::PhaseScope phase_scope(phase::is_gc(ambient)
+                                    ? ambient
+                                    : phase::Phase::kLeafGc);
+  const std::uint64_t trace_t0 = trace::now_ns();
 
   // To-space copies are collector-context allocations: exempt from the
   // heap budget and injected faults (a Cheney scan cannot unwind once
@@ -120,6 +134,8 @@ std::size_t leaf_gc_collect(Heap* heap, StatsCell* stats,
   stats->gc_ns.fetch_add(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count(),
       std::memory_order_relaxed);
+  trace::record_gc_pause(pause_kind, trace_t0, trace::now_ns() - trace_t0,
+                         copied);
   return copied;
 }
 

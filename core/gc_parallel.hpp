@@ -49,6 +49,7 @@
 #include "core/failpoint.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
+#include "core/phase.hpp"
 
 namespace parmem {
 
@@ -229,6 +230,7 @@ class ParallelCollector {
   // the caller must treat the rethrow as fatal for the computation.
   void run_worker(unsigned slot) {
     failpoint::GcAllocScope gc_scope;
+    phase::PhaseScope evac_scope(phase::Phase::kParallelEvac);
     Worker& ws = *workers_[slot];
     auto w0 = std::chrono::steady_clock::now();
     try {

@@ -38,10 +38,14 @@
 #include "core/gc_parallel.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
+#include "core/phase.hpp"
+#include "core/profiler.hpp"
 #include "core/promote.hpp"
 #include "core/roots.hpp"
 #include "core/sched.hpp"
 #include "core/stats.hpp"
+#include "core/stats_json.hpp"
+#include "core/trace.hpp"
 #include "runtimes/runtime_api.hpp"
 
 namespace parmem {
@@ -92,6 +96,10 @@ class HierRuntime {
     // "chunk_alloc=fail@3;promote_copy=every(100)". Installed into the
     // process-wide registry (core/failpoint.hpp); "" = none.
     std::string failpoints;
+    // Append one JSON line of counters + pause-histogram summaries to
+    // this file when the runtime is destroyed (core/stats_json.hpp).
+    // "" = use PARMEM_STATS_JSON, or no export if that is unset too.
+    std::string stats_json_path;
   };
 
   class Ctx {
@@ -215,6 +223,7 @@ class HierRuntime {
     // path when Options::gc_parallel_team > 1. Same roots and same
     // survivors as collect_now(), just copied by `team` workers.
     void parallel_collect_now(unsigned team) {
+      const std::uint64_t trace_t0 = trace::now_ns();
       core::ParallelCollector pc(rt_->chunks_, std::vector<Heap*>{heap_},
                                  core::ParallelGcOptions{team, 128});
       core::ParallelGcOutcome out = pc.collect([this](auto&& fn) {
@@ -222,6 +231,11 @@ class HierRuntime {
           f->for_each_slot(fn);
         }
       });
+      // Bills gc_count directly (no leaf_gc_collect underneath), so it
+      // records its own pause event; dur is the pause wall time, not
+      // the team's summed busy time.
+      trace::record_gc_pause(trace::Ev::kGcLeaf, trace_t0, out.wall_ns,
+                             out.totals.bytes_copied);
       rt_->stats_.local().gc_count.fetch_add(1, std::memory_order_relaxed);
       rt_->stats_.local().gc_bytes_copied.fetch_add(out.totals.bytes_copied,
                                             std::memory_order_relaxed);
@@ -304,11 +318,17 @@ class HierRuntime {
     // The caller then retries the allocation once; a second failure is
     // the program's real OOM.
     void emergency_collect() {
+      const std::uint64_t trace_t0 = trace::now_ns();
+      const std::uint64_t live_before = rt_->chunks_.live_bytes();
       rt_->stats_.local().emergency_gcs.fetch_add(1, std::memory_order_relaxed);
       collect_now();
       if (__builtin_expect(rt_->sp_enabled_, 0)) {
         rt_->drive_emergency_gc();
       }
+      // One event spanning the whole cascade; its constituent
+      // collections also recorded individually above.
+      trace::record_emergency(trace_t0, trace::now_ns() - trace_t0,
+                              live_before);
     }
 
     void rescale_budget(std::size_t live) {
@@ -372,7 +392,13 @@ class HierRuntime {
     if (!opts_.gc_stress && gc_stress_env()) {
       opts_.gc_stress = true;
     }
+    if (opts_.gc_internal_threshold == 0) {
+      opts_.gc_internal_threshold = internal_gc_threshold_env();
+    }
     env::install_failpoints_env();
+    trace::init_from_env();
+    profiler::init_from_env();
+    profiler::note_stack_hi();
     chunks_.set_budget(effective_heap_budget(opts_.heap_budget_bytes));
     if (!opts_.failpoints.empty()) {
       failpoint::install(opts_.failpoints);
@@ -387,6 +413,15 @@ class HierRuntime {
   }
   HierRuntime(const HierRuntime&) = delete;
   HierRuntime& operator=(const HierRuntime&) = delete;
+
+  ~HierRuntime() {
+    StatsSnapshot snap;
+    snap.stats = stats_.snapshot();
+    snap.live_bytes = chunks_.live_bytes();
+    snap.peak_bytes = chunks_.peak_bytes();
+    stats_json::write(stats_json::resolve_path(opts_.stats_json_path), kName,
+                      snap);
+  }
 
   const Options& options() const { return opts_; }
   unsigned workers() const { return pool_.workers(); }
@@ -523,6 +558,21 @@ class HierRuntime {
     return on;
   }
 
+  // PARMEM_INTERNAL_GC_THRESHOLD=bytes: force internal-heap collection
+  // on for runtimes whose Options leave it off -- lets the profiling /
+  // flame-diff workflow (scripts/flamediff.py) perturb the policy on an
+  // unmodified driver binary.
+  static std::size_t internal_gc_threshold_env() {
+    static const std::size_t bytes = [] {
+      const char* v = std::getenv("PARMEM_INTERNAL_GC_THRESHOLD");
+      if (v == nullptr || v[0] == '\0') {
+        return std::size_t{0};
+      }
+      return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    }();
+    return bytes;
+  }
+
   // One cache line per pool worker: the context registry for that
   // worker's thread (mutated only from it, so the spinlock is
   // uncontended except against a stopped-world driver scanning the
@@ -642,6 +692,9 @@ class HierRuntime {
     if (!gate_.begin_stop()) {
       return;  // parked through another driver's stop instead
     }
+    // The internal-GC phase tag makes the leaf collections run below
+    // record as gc_internal pauses (trace::pause_kind_from_phase).
+    phase::PhaseScope gc_scope(phase::Phase::kInternalGc);
     internal_doorbell_.store(false, std::memory_order_relaxed);
     try {
       collect_internal_victims(thr);
@@ -716,9 +769,15 @@ class HierRuntime {
     };
     std::size_t live;
     if (opts_.gc_parallel_team > 1) {
+      const std::uint64_t trace_t0 = trace::now_ns();
       core::ParallelGcOutcome out = internal_gc_collect_parallel(
           chunks_, h, heaps, opts_.gc_parallel_team, frame_roots);
       live = out.totals.bytes_copied;
+      // This branch bills gc_count directly, so it records its own
+      // pause; the kind follows the driver's phase (join / internal /
+      // emergency-as-leaf), like leaf_gc_collect does.
+      trace::record_gc_pause(trace::pause_kind_from_phase(phase::current()),
+                             trace_t0, out.wall_ns, live);
       stats_.local().gc_count.fetch_add(1, std::memory_order_relaxed);
       stats_.local().gc_bytes_copied.fetch_add(live, std::memory_order_relaxed);
       stats_.local().gc_ns.fetch_add(out.totals.busy_ns, std::memory_order_relaxed);
@@ -748,6 +807,8 @@ class HierRuntime {
     if (!gate_.begin_stop()) {
       return;  // parked through a concurrent stop; the next join retries
     }
+    // Tags the collection below as a join-GC pause (gc_join kind).
+    phase::PhaseScope gc_scope(phase::Phase::kJoinGc);
     std::vector<Ctx*> ctxs;
     std::vector<Heap*> heaps;
     snapshot_registry(&ctxs, &heaps);

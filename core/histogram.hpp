@@ -1,0 +1,109 @@
+// Shared log-bucketed histogram (HDR-style log-linear): values below
+// kSub are exact; above, each power of two is split into kSub linear
+// subbuckets, bounding the relative quantization error by 1/kSub
+// (6.25 %). Buckets are plain uint64 counts, so merging shards is
+// element-wise addition -- exact, like ShardedStats::snapshot().
+//
+// Grown out of the serve harness's per-lane latency histogram (PR 8);
+// now also the GC-pause / gate-stall / promotion histograms of
+// core/trace.hpp. Writers are single-threaded (one lane, one worker
+// slot); merge() folds shards on a quiesced reader.
+#pragma once
+
+#include <cstdint>
+
+namespace parmem {
+
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSub = 1u << kSubBits;  // 16 subbuckets
+  static constexpr unsigned kBuckets = (64 - kSubBits + 1) * kSub;
+
+  static unsigned bucket_of(std::uint64_t v) {
+    if (v < kSub) {
+      return static_cast<unsigned>(v);
+    }
+    const unsigned lg = 63u - static_cast<unsigned>(__builtin_clzll(v));
+    return (lg - (kSubBits - 1)) * kSub +
+           static_cast<unsigned>((v >> (lg - kSubBits)) & (kSub - 1));
+  }
+
+  // Inclusive upper bound of a bucket's value range (percentiles
+  // report this, i.e. they round conservatively upward).
+  static std::uint64_t bucket_upper(unsigned idx) {
+    if (idx < kSub) {
+      return idx;
+    }
+    const unsigned b = idx / kSub;
+    const unsigned sub = idx % kSub;
+    const std::uint64_t scale = std::uint64_t{1} << (b - 1);
+    return static_cast<std::uint64_t>(kSub + sub + 1) * scale - 1;
+  }
+
+  void record(std::uint64_t ns) {
+    ++counts_[bucket_of(ns)];
+    ++count_;
+    sum_ns_ += ns;
+    if (ns > max_ns_) {
+      max_ns_ = ns;
+    }
+  }
+
+  void merge(const Histogram& o) {
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      counts_[i] += o.counts_[i];
+    }
+    count_ += o.count_;
+    sum_ns_ += o.sum_ns_;
+    if (o.max_ns_ > max_ns_) {
+      max_ns_ = o.max_ns_;
+    }
+  }
+
+  void reset() { *this = Histogram{}; }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_ns() const { return max_ns_; }
+  std::uint64_t sum_ns() const { return sum_ns_; }
+  std::uint64_t bucket_count(unsigned idx) const { return counts_[idx]; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(count_);
+  }
+
+  // Value at quantile q in [0, 1]: the upper bound of the bucket
+  // holding the ceil(q * count)-th smallest sample, clamped to the
+  // exactly-tracked maximum.
+  std::uint64_t percentile_ns(double q) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_) + 0.9999999);
+    if (rank < 1) {
+      rank = 1;
+    }
+    if (rank > count_) {
+      rank = count_;
+    }
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      cum += counts_[i];
+      if (cum >= rank) {
+        const std::uint64_t v = bucket_upper(i);
+        return v < max_ns_ ? v : max_ns_;
+      }
+    }
+    return max_ns_;
+  }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace parmem

@@ -24,7 +24,9 @@
 #include "core/failpoint.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
+#include "core/phase.hpp"
 #include "core/stats.hpp"
+#include "core/trace.hpp"
 
 namespace parmem {
 namespace detail {
@@ -201,6 +203,11 @@ inline void promote_and_store(Object* dst_obj, std::uint32_t idx, Object* v,
   // bounded by one promoted closure and is charged at the mutator's
   // next chunk allocation instead.
   failpoint::GcAllocScope copy_scope;
+  phase::PhaseScope promo_scope(phase::Phase::kPromotion);
+  // Promotions can be hot (every entangling write); even the clock
+  // reads are skipped unless trace rings are on.
+  const bool traced = trace::ring_enabled();
+  const std::uint64_t trace_t0 = traced ? trace::now_ns() : 0;
   stats->promotions.fetch_add(1, std::memory_order_relaxed);
   detail::PromoteResult res{nullptr};
   if (mode == PromotionMode::kCoarseLocking) {
@@ -229,6 +236,9 @@ inline void promote_and_store(Object* dst_obj, std::uint32_t idx, Object* v,
   }
   stats->promoted_objects.fetch_add(res.objects, std::memory_order_relaxed);
   stats->promoted_bytes.fetch_add(res.bytes, std::memory_order_relaxed);
+  if (traced) {
+    trace::record_promotion(trace_t0, trace::now_ns() - trace_t0, res.bytes);
+  }
 }
 
 }  // namespace parmem

@@ -42,42 +42,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/phase.hpp"
+#include "core/profiler.hpp"
+#include "core/sig_io.hpp"  // sig_write / sig_write_i64 (hoisted from here)
+#include "core/trace.hpp"
 #include "deque.hpp"
 
 namespace parmem {
-
-namespace detail {
-
-// Async-signal-safe output helpers for the test watchdog's dump path:
-// no malloc, no stdio, just write(2).
-inline void sig_write(int fd, const char* s) {
-  std::size_t n = 0;
-  while (s[n] != '\0') {
-    ++n;
-  }
-  ssize_t r = ::write(fd, s, n);
-  (void)r;
-}
-
-inline void sig_write_i64(int fd, long long v) {
-  char b[24];
-  unsigned i = sizeof b;
-  bool neg = v < 0;
-  unsigned long long u =
-      neg ? ~static_cast<unsigned long long>(v) + 1ull
-          : static_cast<unsigned long long>(v);
-  do {
-    b[--i] = static_cast<char>('0' + u % 10);
-    u /= 10;
-  } while (u != 0);
-  if (neg) {
-    b[--i] = '-';
-  }
-  ssize_t r = ::write(fd, b + i, sizeof b - i);
-  (void)r;
-}
-
-}  // namespace detail
 
 class WorkStealPool {
  public:
@@ -214,10 +185,12 @@ class WorkStealPool {
   // atomic the finishing thief does not pair with the condvar.
   template <class Pred>
   void help_until(Pred&& done) {
+    phase::PhaseScope steal_scope(phase::Phase::kSteal);
     unsigned idle = 0;
     while (!done()) {
       Task* t = try_steal();
       if (t != nullptr) {
+        phase::PhaseScope run_scope(phase::Phase::kMutator);
         t->execute();
         idle = 0;
         continue;
@@ -347,10 +320,14 @@ class WorkStealPool {
 
   void worker_main(unsigned idx) {
     tls() = {this, idx};
+    profiler::note_stack_hi();  // frame-walk watermark: this is the
+                                // outermost frame worth unwinding
+    phase::PhaseScope steal_scope(phase::Phase::kSteal);
     unsigned idle = 0;
     while (!stop_.load(std::memory_order_acquire)) {
       Task* t = try_steal();
       if (t != nullptr) {
+        phase::PhaseScope run_scope(phase::Phase::kMutator);
         t->execute();
         idle = 0;
         continue;
@@ -365,6 +342,7 @@ class WorkStealPool {
         std::this_thread::yield();
         ++idle;
       } else {
+        phase::PhaseScope park_scope(phase::Phase::kPark);
         park_worker();
       }
     }
@@ -464,10 +442,13 @@ class SafepointGate {
       }
       // A stop is pending: back out (waking its driver, which may be
       // waiting on the running count) and sit it out.
+      phase::PhaseScope stall_scope(phase::Phase::kGateStall);
+      const std::uint64_t t0 = trace::now_ns();
       std::unique_lock<std::mutex> lk(mu_);
       cnt.fetch_sub(1, std::memory_order_seq_cst);
       pause_cv_.notify_all();
       done_cv_.wait(lk, [&] { return !stop_pending_; });
+      trace::record_gate_stall(t0, trace::now_ns() - t0);
     }
   }
 
@@ -547,10 +528,13 @@ class SafepointGate {
   }
 
   void wait_out(std::unique_lock<std::mutex>& lk) {
+    phase::PhaseScope stall_scope(phase::Phase::kGateStall);
+    const std::uint64_t t0 = trace::now_ns();
     ++paused_;
     pause_cv_.notify_all();
     done_cv_.wait(lk, [&] { return !stop_pending_; });
     --paused_;
+    trace::record_gate_stall(t0, trace::now_ns() - t0);
   }
 
   std::vector<Slot> slots_;           // per-worker running-set counts

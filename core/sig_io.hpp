@@ -1,0 +1,41 @@
+// Async-signal-safe output helpers shared by every dump path that can
+// run inside a signal handler (the test watchdog's SIGALRM dump, the
+// phase/trace last-event dumps): no malloc, no stdio, just write(2).
+// Hoisted from core/sched.hpp so the observability headers can use
+// them without pulling in the scheduler.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstddef>
+
+namespace parmem::detail {
+
+inline void sig_write(int fd, const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') {
+    ++n;
+  }
+  ssize_t r = ::write(fd, s, n);
+  (void)r;
+}
+
+inline void sig_write_i64(int fd, long long v) {
+  char b[24];
+  unsigned i = sizeof b;
+  bool neg = v < 0;
+  unsigned long long u =
+      neg ? ~static_cast<unsigned long long>(v) + 1ull
+          : static_cast<unsigned long long>(v);
+  do {
+    b[--i] = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0);
+  if (neg) {
+    b[--i] = '-';
+  }
+  ssize_t r = ::write(fd, b + i, sizeof b - i);
+  (void)r;
+}
+
+}  // namespace parmem::detail

@@ -40,10 +40,14 @@
 #include "core/gc_leaf.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
+#include "core/phase.hpp"
+#include "core/profiler.hpp"
 #include "core/promote.hpp"
 #include "core/roots.hpp"
 #include "core/sched.hpp"
 #include "core/stats.hpp"
+#include "core/stats_json.hpp"
+#include "core/trace.hpp"
 #include "runtimes/runtime_api.hpp"
 
 namespace parmem {
@@ -63,6 +67,9 @@ class LhRuntime {
     // reclaim this design has).
     std::size_t heap_budget_bytes = 0;
     std::string failpoints;  // e.g. "chunk_alloc=fail@3"; "" = none
+    // Append one JSON line of counters + pause-histogram summaries to
+    // this file at runtime destruction; "" = PARMEM_STATS_JSON or none.
+    std::string stats_json_path;
   };
 
  private:
@@ -215,6 +222,9 @@ class LhRuntime {
         global_(nullptr, 0, &chunks_),
         pool_(opts.workers) {
     env::install_failpoints_env();
+    trace::init_from_env();
+    profiler::init_from_env();
+    profiler::note_stack_hi();
     chunks_.set_budget(effective_heap_budget(opts_.heap_budget_bytes));
     if (!opts_.failpoints.empty()) {
       failpoint::install(opts_.failpoints);
@@ -227,6 +237,15 @@ class LhRuntime {
   }
   LhRuntime(const LhRuntime&) = delete;
   LhRuntime& operator=(const LhRuntime&) = delete;
+
+  ~LhRuntime() {
+    StatsSnapshot snap;
+    snap.stats = stats_.snapshot();
+    snap.live_bytes = chunks_.live_bytes();
+    snap.peak_bytes = chunks_.peak_bytes();
+    stats_json::write(stats_json::resolve_path(opts_.stats_json_path), kName,
+                      snap);
+  }
 
   const Options& options() const { return opts_; }
   unsigned workers() const { return pool_.workers(); }
@@ -326,6 +345,9 @@ class LhRuntime {
                         chunks_.budget(), chunks_.peak_bytes());
     }
     failpoint::GcAllocScope copy_scope;
+    phase::PhaseScope promo_scope(phase::Phase::kPromotion);
+    const bool traced = trace::ring_enabled();
+    const std::uint64_t trace_t0 = traced ? trace::now_ns() : 0;
     std::lock_guard<std::mutex> g(global_.path_lock());
     detail::PromoteResult res = detail::promote_coarse_locked(v, &global_);
     if (res.objects != 0) {
@@ -333,6 +355,10 @@ class LhRuntime {
       stats_.local().promoted_objects.fetch_add(res.objects,
                                         std::memory_order_relaxed);
       stats_.local().promoted_bytes.fetch_add(res.bytes, std::memory_order_relaxed);
+    }
+    if (traced) {
+      trace::record_promotion(trace_t0, trace::now_ns() - trace_t0,
+                              res.bytes);
     }
     return res.master;
   }

@@ -17,8 +17,11 @@
 #include "core/gc_leaf.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
+#include "core/profiler.hpp"
 #include "core/roots.hpp"
 #include "core/stats.hpp"
+#include "core/stats_json.hpp"
+#include "core/trace.hpp"
 #include "runtimes/runtime_api.hpp"
 
 namespace parmem {
@@ -36,6 +39,9 @@ class SeqRuntime {
     // parmem::OutOfMemory reaches the program.
     std::size_t heap_budget_bytes = 0;
     std::string failpoints;  // e.g. "chunk_alloc=fail@3"; "" = none
+    // Append one JSON line of counters + pause-histogram summaries to
+    // this file at runtime destruction; "" = PARMEM_STATS_JSON or none.
+    std::string stats_json_path;
   };
 
   class Ctx {
@@ -140,6 +146,9 @@ class SeqRuntime {
   SeqRuntime() : SeqRuntime(Options{}) {}
   explicit SeqRuntime(const Options& opts) : opts_(opts) {
     env::install_failpoints_env();
+    trace::init_from_env();
+    profiler::init_from_env();
+    profiler::note_stack_hi();
     chunks_.set_budget(effective_heap_budget(opts_.heap_budget_bytes));
     if (!opts_.failpoints.empty()) {
       failpoint::install(opts_.failpoints);
@@ -147,6 +156,15 @@ class SeqRuntime {
   }
   SeqRuntime(const SeqRuntime&) = delete;
   SeqRuntime& operator=(const SeqRuntime&) = delete;
+
+  ~SeqRuntime() {
+    StatsSnapshot snap;
+    snap.stats = stats_.snapshot();
+    snap.live_bytes = chunks_.live_bytes();
+    snap.peak_bytes = chunks_.peak_bytes();
+    stats_json::write(stats_json::resolve_path(opts_.stats_json_path), kName,
+                      snap);
+  }
 
   const Options& options() const { return opts_; }
   unsigned workers() const { return 1; }

@@ -44,9 +44,13 @@
 #include "core/gc_parallel.hpp"
 #include "core/heap.hpp"
 #include "core/object.hpp"
+#include "core/phase.hpp"
+#include "core/profiler.hpp"
 #include "core/roots.hpp"
 #include "core/sched.hpp"
 #include "core/stats.hpp"
+#include "core/stats_json.hpp"
+#include "core/trace.hpp"
 #include "runtimes/runtime_api.hpp"
 
 namespace parmem {
@@ -64,6 +68,9 @@ class StwRuntime {
     // retry before parmem::OutOfMemory reaches the program.
     std::size_t heap_budget_bytes = 0;
     std::string failpoints;  // e.g. "chunk_alloc=fail@3"; "" = none
+    // Append one JSON line of counters + pause-histogram summaries to
+    // this file at runtime destruction; "" = PARMEM_STATS_JSON or none.
+    std::string stats_json_path;
   };
 
   class Ctx {
@@ -169,6 +176,9 @@ class StwRuntime {
         pool_(opts.workers),
         slots_(pool_.workers()) {
     env::install_failpoints_env();
+    trace::init_from_env();
+    profiler::init_from_env();
+    profiler::note_stack_hi();
     chunks_.set_budget(effective_heap_budget(opts_.heap_budget_bytes));
     if (!opts_.failpoints.empty()) {
       failpoint::install(opts_.failpoints);
@@ -176,6 +186,15 @@ class StwRuntime {
   }
   StwRuntime(const StwRuntime&) = delete;
   StwRuntime& operator=(const StwRuntime&) = delete;
+
+  ~StwRuntime() {
+    StatsSnapshot snap;
+    snap.stats = stats_.snapshot();
+    snap.live_bytes = chunks_.live_bytes();
+    snap.peak_bytes = chunks_.peak_bytes();
+    stats_json::write(stats_json::resolve_path(opts_.stats_json_path), kName,
+                      snap);
+  }
 
   const Options& options() const { return opts_; }
   unsigned workers() const { return pool_.workers(); }
@@ -298,10 +317,13 @@ class StwRuntime {
       }
       // A collection is pending: back out (waking its driver, which
       // may be waiting on the running count) and sit it out.
+      phase::PhaseScope stall_scope(phase::Phase::kGateStall);
+      const std::uint64_t t0 = trace::now_ns();
       std::unique_lock<std::mutex> lk(mu_);
       cnt.fetch_sub(1, std::memory_order_seq_cst);
       pause_cv_.notify_all();
       done_cv_.wait(lk, [&] { return !gc_pending_; });
+      trace::record_gate_stall(t0, trace::now_ns() - t0);
     }
   }
   void deactivate() {
@@ -336,6 +358,11 @@ class StwRuntime {
   // ourselves paused, serve as an evacuation-team worker if the driver
   // recruits us, and return once the collection is over.
   void wait_out_collection(std::unique_lock<std::mutex>& lk) {
+    // The recorded stall spans the whole stopped window, including any
+    // copy work done as a recruited team member (run_worker retags the
+    // recruitment spans to parallel-evac for the profiler).
+    phase::PhaseScope stall_scope(phase::Phase::kGateStall);
+    const std::uint64_t t0 = trace::now_ns();
     ++paused_;
     pause_cv_.notify_all();
     while (gc_pending_) {
@@ -350,6 +377,7 @@ class StwRuntime {
       done_cv_.wait(lk);
     }
     --paused_;
+    trace::record_gate_stall(t0, trace::now_ns() - t0);
   }
 
   void collect(Ctx* me, bool force) {
@@ -372,6 +400,7 @@ class StwRuntime {
     // ours so the flat heap really is one heap, then evacuate it with
     // the union of all root frames.
     auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t trace_t0 = trace::now_ns();
     for (WorkerSlot& s : slots_) {
       std::lock_guard<SpinLock> g(s.ctx_lock);
       for (Ctx* c = s.ctx_head; c != nullptr; c = c->reg_next_) {
@@ -434,6 +463,10 @@ class StwRuntime {
       // or not.
       stats_.local().gc_ns.fetch_add(wall * pool_.workers(),
                              std::memory_order_relaxed);
+      // Team path bills gc_count directly (no leaf_gc_collect), so it
+      // records its own pause event; the 1-worker branch below records
+      // inside leaf_gc_collect instead.
+      trace::record_gc_pause(trace::Ev::kGcStw, trace_t0, wall, live);
     } else {
       try {
         live = leaf_gc_collect(&me->heap_, &stats_.local(), each_root);

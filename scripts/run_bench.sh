@@ -15,7 +15,12 @@
 #                                                latency percentiles, RSS +
 #                                                fragmentation per runtime)
 #
-# Usage: scripts/run_bench.sh [--quick] [--bench=FILTER]
+# Usage: scripts/run_bench.sh [profile] [--quick] [--bench=FILTER]
+#   profile          observability mode: instead of the baselines above,
+#                    record a flame graph (SVG + collapsed stacks), a
+#                    Perfetto-loadable Chrome trace, and a stats JSON
+#                    per runtime under $BUILD/observe/ using the serve
+#                    driver (one process per runtime via --runtime=).
 #   --quick          smoke mode: short min-time / tiny sizes, for CI.
 #   --bench=FILTER   run only matching benchmarks. For micro_ops the
 #                    filter is a google-benchmark regex; for fig10 it is
@@ -28,13 +33,45 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 
 QUICK=0
 FILTER=""
+PROFILE=0
 for arg in "$@"; do
   case "$arg" in
+    profile) PROFILE=1 ;;
     --quick) QUICK=1 ;;
     --bench=*) FILTER="${arg#--bench=}" ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
+
+# ---- profile mode -----------------------------------------------------------
+# One serve-driver run per runtime with the in-runtime observability
+# layer on: PARMEM_PROFILE (sampling profiler -> collapsed stacks ->
+# flame-graph SVG), PARMEM_TRACE (GC pauses / gate stalls / promotions
+# as Chrome trace-event JSON), PARMEM_STATS_JSON (counters + pause
+# percentiles; diff two recordings with scripts/perf_diff.py).
+if [ "$PROFILE" -eq 1 ]; then
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD" -j"$(nproc)" --target serve >/dev/null
+  OBS="$BUILD/observe"
+  mkdir -p "$OBS"
+  DURATION=$([ "$QUICK" -eq 1 ] && echo 1 || echo 5)
+  for rt in seq stw localheap hier; do
+    echo "== profiling runtime: $rt =="
+    PARMEM_PROFILE="$OBS/$rt.folded" \
+    PARMEM_TRACE="$OBS/$rt.trace.json" \
+    PARMEM_STATS_JSON="$OBS/$rt.stats.jsonl" \
+      "$BUILD/serve" --procs=2 --runtime="$rt" --duration="$DURATION"
+    python3 "$ROOT/scripts/flamegraph.py" "$OBS/$rt.folded" \
+      -o "$OBS/$rt.svg" --collapsed "$OBS/$rt.sym.folded"
+  done
+  echo
+  echo "observability recordings written under $OBS/:"
+  echo "  <rt>.svg          flame graph (phase-tagged; open in a browser)"
+  echo "  <rt>.sym.folded   symbolized collapsed stacks (flamediff.py input)"
+  echo "  <rt>.trace.json   Chrome trace (load in Perfetto / chrome://tracing)"
+  echo "  <rt>.stats.jsonl  counters + pause percentiles (perf_diff.py input)"
+  exit 0
+fi
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \

@@ -1,7 +1,9 @@
 #include <csignal>
 #include <cstdlib>
 
+#include "core/phase.hpp"
 #include "core/sched.hpp"
+#include "core/trace.hpp"
 #include "tests/test_util.hpp"
 
 namespace parmem::test {
@@ -14,16 +16,21 @@ std::map<std::string, TestFn>& registry() {
 namespace {
 
 // In-process watchdog: if a test wedges (a stop that never finishes, a
-// join that never completes), dump every live SafepointGate's state
-// and abort with a distinguishable message instead of hanging until
-// the ctest TIMEOUT reaps us silently. Everything in the handler is
-// async-signal-safe: write(2), the gate registry's atomics, abort().
+// join that never completes), dump every live SafepointGate's state,
+// each worker's current phase tag, and each worker's last trace event
+// -- so the dump says WHAT every stuck thread was doing, not just that
+// the process hung -- then abort with a distinguishable message
+// instead of hanging until the ctest TIMEOUT reaps us silently.
+// Everything in the handler is async-signal-safe: write(2), relaxed
+// atomics, abort().
 void watchdog_fire(int) {
   parmem::detail::sig_write(
       2, "\nparmem test watchdog: alarm expired, test is hung; "
          "safepoint gates:\n");
   parmem::GateRegistry::for_each(
       [](parmem::SafepointGate* g) { g->dump(2); });
+  parmem::phase::dump(2);
+  parmem::trace::dump_last_events(2);
   std::abort();
 }
 
