@@ -15,6 +15,7 @@
 // --seed=S --json=PATH --quick. scripts/run_bench.sh records the JSON
 // as the BENCH_serve.json baseline.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -58,6 +59,18 @@ template <>
 LhRuntime make_runtime<LhRuntime>(unsigned procs) {
   LhRuntime::Options o;
   o.workers = procs;
+  // Production-shaped knob: collect the global promotion sink once per
+  // MB promoted. Without it the sink grows for the whole burst and the
+  // steady-state RSS row measures the leak, not the runtime (the
+  // localheap row used to sit near 45x its live set here). Resolved
+  // from PARMEM_GC_GLOBAL_THRESHOLD when set (the runtime itself only
+  // consults the env while the option is 0), so run_bench.sh's
+  // global_gc section can sweep it -- "0" restores the pure sink.
+  const char* thr_env = std::getenv("PARMEM_GC_GLOBAL_THRESHOLD");
+  o.gc_global_threshold =
+      thr_env != nullptr && thr_env[0] != '\0'
+          ? static_cast<std::size_t>(std::strtoull(thr_env, nullptr, 10))
+          : std::size_t{1} << 20;
   return LhRuntime(o);
 }
 

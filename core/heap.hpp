@@ -4,9 +4,13 @@
 // (no per-object heap word, which keeps allocation at a pointer bump).
 //
 // Chunks are recycled through a per-runtime ChunkPool so steady-state
-// allocation and leaf GC never touch the OS allocator. Oversized
-// objects get a dedicated multiple-of-256KiB chunk; their start address
-// still lies inside the first aligned block, so the mask trick holds.
+// allocation and leaf GC never touch the OS allocator. Full-size and
+// oversized chunks are mmap-backed so freeing one (pool destruction,
+// ChunkPool::trim after a global collection) returns pages to the OS
+// immediately; sub-chunk starter sizes stay on posix_memalign, whose
+// arena recycles their per-leaf churn cheaply. Oversized objects get a
+// dedicated multiple-of-256KiB chunk; their start address still lies
+// inside the first aligned block, so the mask trick holds.
 #pragma once
 
 #include <atomic>
@@ -15,6 +19,8 @@
 #include <cstdlib>
 #include <mutex>
 #include <new>
+
+#include <sys/mman.h>
 
 #include "core/failpoint.hpp"
 #include "core/object.hpp"
@@ -52,6 +58,7 @@ struct alignas(kChunkHeaderBytes) Chunk {
   char* obj_end = nullptr;  // end of allocated objects; valid when retired
   std::size_t bytes = 0;    // total footprint including header
   bool oversized = false;
+  bool mmapped = false;     // mmap-backed (full-size / oversized chunks)
   bool from_space = false;  // transient mark used by the leaf collector
 
   char* data() { return reinterpret_cast<char*>(this) + kChunkHeaderBytes; }
@@ -111,14 +118,14 @@ class ChunkPool {
       while (s.head != nullptr) {
         Chunk* c = s.head;
         s.head = c->next;
-        std::free(c);
+        free_chunk(c);
       }
     }
     std::lock_guard<std::mutex> g(mu_);
     while (free_ != nullptr) {
       Chunk* c = free_;
       free_ = c->next;
-      std::free(c);
+      free_chunk(c);
     }
   }
 
@@ -182,7 +189,7 @@ class ChunkPool {
     if (c->oversized || c->bytes < kChunkBytes) {
       // Only full-size chunks are pooled; small starter chunks are
       // cheap to realloc and pooling them would fragment the free list.
-      std::free(c);
+      free_chunk(c);
     } else {
       // Capped per-thread cache first; overflow spills to the shared
       // list so one thread's GC churn stays reusable by everyone.
@@ -204,6 +211,33 @@ class ChunkPool {
       }
     }
     live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  // Frees pooled chunks from the shared free list until at most
+  // keep_bytes remain pooled there (the per-thread caches, capped at
+  // kCacheShards * kCacheCap chunks, are untouched). Full-size chunks
+  // are mmap-backed at this allocation size, so freeing actually
+  // returns RSS to the OS. Collectors that just emptied a large
+  // from-space call this; without it the pool pins the process at its
+  // all-time chunk high-water forever.
+  void trim(std::size_t keep_bytes) {
+    Chunk* excess = nullptr;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      std::size_t pooled = 0;
+      Chunk** p = &free_;
+      while (*p != nullptr && pooled + (*p)->bytes <= keep_bytes) {
+        pooled += (*p)->bytes;
+        p = &(*p)->next;
+      }
+      excess = *p;
+      *p = nullptr;
+    }
+    while (excess != nullptr) {
+      Chunk* c = excess;
+      excess = c->next;
+      free_chunk(c);
+    }
   }
 
   // Bytes currently handed out to heaps (excludes pooled free chunks).
@@ -252,19 +286,67 @@ class ChunkPool {
       throw OutOfMemory("chunk_alloc", total, live_bytes(), budget(),
                         peak_bytes());
     }
-    // posix_memalign (not aligned_alloc): small chunks have total <
-    // alignment, which aligned_alloc rejects. The alignment is what
-    // makes chunk_of()'s address mask work.
+    // Full-size and oversized chunks bypass glibc and mmap directly:
+    // these are the bulk of heap memory, and releasing one must
+    // return its pages to the OS NOW (glibc's free of comparably
+    // sized blocks either munmaps -- in which case every 256
+    // KiB-ALIGNED request, even a 4 KiB starter whose internal
+    // size+alignment allocation crosses the mmap threshold, pays
+    // mmap/munmap/refault churn -- or, once its dynamic threshold
+    // ratchets past the chunk size, parks them in the main arena
+    // forever and steady RSS reads as the all-time high-water). The
+    // sub-chunk starter sizes keep posix_memalign (not aligned_alloc:
+    // total < alignment, which aligned_alloc rejects); their churn is
+    // exactly what glibc's arena recycles well. The kChunkBytes
+    // alignment is what makes chunk_of()'s address mask work.
     void* mem = nullptr;
-    if (posix_memalign(&mem, kChunkBytes, total) != 0) {
+    bool mapped = total >= kChunkBytes;
+    if (mapped) {
+      mem = map_chunk_aligned(total);
+    } else if (posix_memalign(&mem, kChunkBytes, total) != 0) {
+      mem = nullptr;
+    }
+    if (mem == nullptr) {
       throw OutOfMemory("chunk_alloc", total, live_bytes(), budget(),
                         peak_bytes());
     }
     Chunk* c = new (mem) Chunk();
     c->bytes = total;
     c->oversized = oversized;
+    c->mmapped = mapped;
     account_live(total);
     return c;
+  }
+
+  // Anonymous mapping of `total` bytes at kChunkBytes alignment: map
+  // alignment's worth of slack, then unmap the misaligned head and
+  // tail. Returns nullptr when the OS refuses the memory.
+  static void* map_chunk_aligned(std::size_t total) {
+    std::size_t span = total + kChunkBytes;
+    void* raw = ::mmap(nullptr, span, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED) {
+      return nullptr;
+    }
+    auto base = reinterpret_cast<std::uintptr_t>(raw);
+    std::uintptr_t aligned = (base + kChunkBytes - 1) & ~(kChunkBytes - 1);
+    if (aligned != base) {
+      ::munmap(raw, aligned - base);
+    }
+    std::size_t tail = base + span - (aligned + total);
+    if (tail != 0) {
+      ::munmap(reinterpret_cast<void*>(aligned + total), tail);
+    }
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  static void free_chunk(Chunk* c) {
+    if (c->mmapped) {
+      std::size_t bytes = c->bytes;
+      ::munmap(c, bytes);
+    } else {
+      std::free(c);
+    }
   }
 
   void account_live(std::size_t bytes) {

@@ -178,26 +178,35 @@ class HierRuntime {
     // churn, no budget rescale, and the chunk-doubling schedule keeps
     // whatever step it had reached.
     //
-    // Roots are this task's own frames. An ancestor Local CAN be the
-    // only reference into this heap (a branch may publish its result
-    // into any ancestor's Local, and the object merges up into this
-    // heap at an intermediate join) -- but ancestor frames cannot be
-    // scanned from a RUNNING task without racing sibling branches that
-    // publish into them concurrently. So this collection is only sound
-    // under the runtime-api contract's publish discipline; threshold
-    // join collections take the stopped-world all-frames path instead
-    // (a nonzero gc_join_threshold enables the safepoint machinery,
-    // see the constructor), which the GC-stress harness exercises on
-    // every join.
+    // Roots are this task's own frames PLUS every ancestor's: an
+    // ancestor Local CAN be the only reference into this heap (a
+    // branch publishes its result into an ancestor's Local, and the
+    // object merges up into this heap at an intermediate join).
+    // Walking the ancestor chain from a RUNNING task is sound because
+    // each ancestor sits blocked in fork2 between spawn and join, and
+    // a frame chain's STRUCTURE is only ever mutated by its owner
+    // task's thread -- so ancestor chains are frozen for this task's
+    // whole lifetime. Slot VALUES can be written concurrently by
+    // sibling subtrees publishing into the same ancestor's other
+    // Locals (slot accesses are atomic, core/roots.hpp), but a slot
+    // holding a pointer into THIS heap was necessarily installed by
+    // this task's own subtree, and a running sibling never writes
+    // those under the runtime-api publish contract -- so the
+    // collector's conditional rewrite (only slots pointing into this
+    // heap's from-space) never races a concurrent store.
     void collect_now() {
       if (heap_->chunks() == nullptr) {
         return;
       }
       std::size_t live = leaf_gc_collect(heap_, &rt_->stats_.local(),
                                          [this](auto&& fn) {
-                                           for (RootFrame* f = frames_;
-                                                f != nullptr; f = f->prev()) {
-                                             f->for_each_slot(fn);
+                                           for (Ctx* c = this; c != nullptr;
+                                                c = c->parent_) {
+                                             for (RootFrame* f = c->frames_;
+                                                  f != nullptr;
+                                                  f = f->prev()) {
+                                               f->for_each_slot(fn);
+                                             }
                                            }
                                          });
       rescale_budget(live);
@@ -269,9 +278,10 @@ class HierRuntime {
    private:
     friend class HierRuntime;
 
-    Ctx(HierRuntime* rt, Heap* heap)
+    Ctx(HierRuntime* rt, Heap* heap, Ctx* parent = nullptr)
         : rt_(rt),
           heap_(heap),
+          parent_(parent),
           mode_(rt->opts_.promotion),
           gc_budget_(rt->opts_.gc_min_budget) {
       if (__builtin_expect(rt_->sp_enabled_, 0)) {
@@ -371,6 +381,10 @@ class HierRuntime {
 
     HierRuntime* rt_;
     Heap* heap_;
+    // Forking context, or nullptr for the root task. Ancestors are
+    // blocked in fork2 for this context's whole lifetime, so the chain
+    // is stable; collect_now roots from every frame chain along it.
+    Ctx* parent_ = nullptr;
     PromotionMode mode_;
     std::size_t gc_budget_;
     RootFrame* frames_ = nullptr;
@@ -480,24 +494,30 @@ class HierRuntime {
     rt->stats_.local().forks.fetch_add(1, std::memory_order_relaxed);
     Heap* parent = ctx.heap_;
 
+    Heap heap_a(parent, parent->depth() + 1, &rt->chunks_);
+    Heap heap_b(parent, parent->depth() + 1, &rt->chunks_);
+    Ctx ctx_a(rt, &heap_a, &ctx);
+    Ctx ctx_b(rt, &heap_b, &ctx);
+
+    // Both result channels push a Local onto the PARENT's frame chain
+    // (a plain-pointer list stopped-world collections scan), so they
+    // are constructed BEFORE the parent leaves the running set below
+    // -- a push after deactivation could race a collector already
+    // walking the chain. Spawning before deactivating is fine: the
+    // parent never blocks until the join.
+    rtapi::ResultChannel<Ctx, RA> ch_a(ctx);
+    rtapi::SpawnedBranch<Ctx, std::remove_reference_t<G>> task_b(
+        &rt->pool_, g, ctx_b, ctx);
+
     const bool sp = rt->sp_enabled_;
     if (__builtin_expect(sp, 0)) {
       rt->fork_enter_safepoint();
     }
 
-    Heap heap_a(parent, parent->depth() + 1, &rt->chunks_);
-    Heap heap_b(parent, parent->depth() + 1, &rt->chunks_);
-    Ctx ctx_a(rt, &heap_a);
-    Ctx ctx_b(rt, &heap_b);
-
-    rtapi::SpawnedBranch<Ctx, std::remove_reference_t<G>> task_b(
-        &rt->pool_, g, ctx_b);
-
-    std::optional<RA> ra;
     std::exception_ptr err_a;
     ctx_a.branch_enter();
     try {
-      ra.emplace(rtapi::invoke_branch(f, ctx_a));
+      ch_a.store(ctx_a, rtapi::invoke_branch(f, ctx_a));
     } catch (...) {
       err_a = std::current_exception();
     }
@@ -532,7 +552,7 @@ class HierRuntime {
     if (task_b.error()) {
       std::rethrow_exception(task_b.error());
     }
-    return std::pair<RA, RB>(std::move(*ra), task_b.take_result());
+    return std::pair<RA, RB>(ch_a.take(), task_b.take_result());
   }
 
   // Test/debug hook: snapshot every live heap (one per task context;

@@ -40,6 +40,7 @@ enum class Phase : std::uint8_t {
   kLeafGc,
   kJoinGc,
   kInternalGc,
+  kGlobalGc,
   kParallelEvac,
   kPromotion,
   kSteal,
@@ -54,6 +55,7 @@ inline const char* name(Phase p) {
     case Phase::kLeafGc:       return "leaf-GC";
     case Phase::kJoinGc:       return "join-GC";
     case Phase::kInternalGc:   return "internal-GC";
+    case Phase::kGlobalGc:     return "global-GC";
     case Phase::kParallelEvac: return "parallel-evac";
     case Phase::kPromotion:    return "promotion";
     case Phase::kSteal:        return "steal";
@@ -68,7 +70,8 @@ inline const char* name(Phase p) {
 // enclosing join/internal/emergency pause (the encloser records).
 inline bool is_gc(Phase p) {
   return p == Phase::kLeafGc || p == Phase::kJoinGc ||
-         p == Phase::kInternalGc || p == Phase::kParallelEvac;
+         p == Phase::kInternalGc || p == Phase::kGlobalGc ||
+         p == Phase::kParallelEvac;
 }
 
 inline constexpr unsigned kSlots = 64;  // power of two (slot = id & mask)

@@ -491,6 +491,45 @@ class SafepointGate {
     done_cv_.notify_all();
   }
 
+  // ---- parked-mutator recruitment ----------------------------------
+  //
+  // While a stop is in progress the parked tasks are idle CPU: the
+  // stop driver can hand them evacuation work instead. offer_team
+  // installs a type-erased callback plus a slot range [next, limit);
+  // each parked task claims successive slot indices and runs
+  // fn(arg, slot) outside the gate lock, looping back for more until
+  // the range is exhausted -- so one awake recruit claims any slots
+  // late sleepers never get to, and every offered slot is guaranteed
+  // to run. The driver runs its own slot, waits for the whole team
+  // itself (ParallelCollector::finish spins until every slot exits),
+  // and only then calls retract_team(), before end_stop().
+  //
+  // The callback is a plain function pointer because this header
+  // cannot see gc_parallel.hpp (which includes it); the driver passes
+  // a trampoline that downcasts `arg`.
+  void offer_team(void (*fn)(void*, unsigned), void* arg, unsigned next,
+                  unsigned limit) {
+    std::lock_guard<std::mutex> g(mu_);
+    team_fn_ = fn;
+    team_arg_ = arg;
+    team_next_ = next;
+    team_limit_ = limit;
+    done_cv_.notify_all();
+  }
+
+  void retract_team() {
+    std::lock_guard<std::mutex> g(mu_);
+    team_fn_ = nullptr;
+  }
+
+  // Parked tasks available for recruitment. Stable between a
+  // successful begin_stop() and end_stop(): late activators back out
+  // in activate() without ever incrementing paused_.
+  unsigned parked() {
+    std::lock_guard<std::mutex> g(mu_);
+    return paused_;
+  }
+
   // Watchdog dump: async-signal-safe (atomics and write(2) only; does
   // NOT take mu_, so paused_ is read racily -- acceptable when
   // diagnosing an already-hung process). Shows whether a stop is
@@ -527,12 +566,27 @@ class SafepointGate {
     return static_cast<unsigned>(n);
   }
 
+  // Park until the pending stop finishes, claiming offered team slots
+  // along the way (see offer_team). A recruit stays counted in paused_
+  // while it runs its slot: the driver already holds the stop, and the
+  // count matters only to begin_stop's quorum wait.
   void wait_out(std::unique_lock<std::mutex>& lk) {
     phase::PhaseScope stall_scope(phase::Phase::kGateStall);
     const std::uint64_t t0 = trace::now_ns();
     ++paused_;
     pause_cv_.notify_all();
-    done_cv_.wait(lk, [&] { return !stop_pending_; });
+    while (stop_pending_) {
+      if (team_fn_ != nullptr && team_next_ < team_limit_) {
+        const unsigned slot = team_next_++;
+        void (*fn)(void*, unsigned) = team_fn_;
+        void* arg = team_arg_;
+        lk.unlock();
+        fn(arg, slot);
+        lk.lock();
+        continue;
+      }
+      done_cv_.wait(lk);
+    }
     --paused_;
     trace::record_gate_stall(t0, trace::now_ns() - t0);
   }
@@ -544,6 +598,11 @@ class SafepointGate {
   unsigned paused_ = 0;               // guarded by mu_
   bool stop_pending_ = false;         // guarded by mu_
   std::atomic<bool> stop_flag_{false};  // lock-free mirror of stop_pending_
+  // Recruitment handoff (offer_team / retract_team), guarded by mu_.
+  void (*team_fn_)(void*, unsigned) = nullptr;
+  void* team_arg_ = nullptr;
+  unsigned team_next_ = 0;
+  unsigned team_limit_ = 0;
 };
 
 }  // namespace parmem

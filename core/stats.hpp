@@ -34,6 +34,11 @@ struct Stats {
   // collection is a collection); the internal_* pair isolates them.
   std::uint64_t internal_gc_count = 0;
   std::uint64_t internal_gc_bytes = 0;  // live bytes evacuated internally
+  // Global-heap collections (the localheap runtime's stopped-world
+  // depth-0 collection). Also counted in gc_count / gc_bytes_copied /
+  // gc_ns; the global_* pair isolates them.
+  std::uint64_t global_gc_count = 0;
+  std::uint64_t global_gc_bytes = 0;  // live bytes evacuated from global
   // Emergency collections: cascades run because an allocation hit the
   // hard heap budget (or an injected chunk_alloc fault) and the runtime
   // collected everything it could before retrying. Also counted in
@@ -51,6 +56,8 @@ struct Stats {
     forks += o.forks;
     internal_gc_count += o.internal_gc_count;
     internal_gc_bytes += o.internal_gc_bytes;
+    global_gc_count += o.global_gc_count;
+    global_gc_bytes += o.global_gc_bytes;
     emergency_gcs += o.emergency_gcs;
     return *this;
   }
@@ -67,6 +74,8 @@ struct Stats {
     d.forks = forks - o.forks;
     d.internal_gc_count = internal_gc_count - o.internal_gc_count;
     d.internal_gc_bytes = internal_gc_bytes - o.internal_gc_bytes;
+    d.global_gc_count = global_gc_count - o.global_gc_count;
+    d.global_gc_bytes = global_gc_bytes - o.global_gc_bytes;
     d.emergency_gcs = emergency_gcs - o.emergency_gcs;
     return d;
   }
@@ -104,6 +113,8 @@ struct StatsCell {
   std::atomic<std::uint64_t> forks{0};
   std::atomic<std::uint64_t> internal_gc_count{0};
   std::atomic<std::uint64_t> internal_gc_bytes{0};
+  std::atomic<std::uint64_t> global_gc_count{0};
+  std::atomic<std::uint64_t> global_gc_bytes{0};
   std::atomic<std::uint64_t> emergency_gcs{0};
 
   Stats snapshot() const {
@@ -119,6 +130,8 @@ struct StatsCell {
     s.forks = forks.load(std::memory_order_relaxed);
     s.internal_gc_count = internal_gc_count.load(std::memory_order_relaxed);
     s.internal_gc_bytes = internal_gc_bytes.load(std::memory_order_relaxed);
+    s.global_gc_count = global_gc_count.load(std::memory_order_relaxed);
+    s.global_gc_bytes = global_gc_bytes.load(std::memory_order_relaxed);
     s.emergency_gcs = emergency_gcs.load(std::memory_order_relaxed);
     return s;
   }

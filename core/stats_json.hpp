@@ -80,7 +80,8 @@ inline bool write(const std::string& path, const char* runtime,
       "\"promoted_bytes\":%llu,\"promo_claim_conflicts\":%llu,"
       "\"gc_count\":%llu,\"gc_bytes_copied\":%llu,\"gc_ns\":%llu,"
       "\"forks\":%llu,\"internal_gc_count\":%llu,"
-      "\"internal_gc_bytes\":%llu,\"emergency_gcs\":%llu},"
+      "\"internal_gc_bytes\":%llu,\"global_gc_count\":%llu,"
+      "\"global_gc_bytes\":%llu,\"emergency_gcs\":%llu},"
       "\"memory\":{\"live_bytes\":%llu,\"peak_bytes\":%llu},",
       runtime, static_cast<unsigned long long>(s.promotions),
       static_cast<unsigned long long>(s.promoted_objects),
@@ -92,6 +93,8 @@ inline bool write(const std::string& path, const char* runtime,
       static_cast<unsigned long long>(s.forks),
       static_cast<unsigned long long>(s.internal_gc_count),
       static_cast<unsigned long long>(s.internal_gc_bytes),
+      static_cast<unsigned long long>(s.global_gc_count),
+      static_cast<unsigned long long>(s.global_gc_bytes),
       static_cast<unsigned long long>(s.emergency_gcs),
       static_cast<unsigned long long>(snap.live_bytes),
       static_cast<unsigned long long>(snap.peak_bytes));

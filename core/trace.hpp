@@ -25,10 +25,10 @@
 //
 // GC-pause accounting invariant (pinned by a unit test): every
 // Stats::gc_count increment pairs with exactly ONE pause event among
-// {gc_leaf, gc_join, gc_internal, gc_stw} -- the leaf collector
-// records under the ambient phase's kind, and the paths that bill
-// gc_count directly (team evacuations) record their own -- so
-// summing those four histograms' counts reproduces gc_count.
+// {gc_leaf, gc_join, gc_internal, gc_stw, gc_global} -- the leaf
+// collector records under the ambient phase's kind, and the paths that
+// bill gc_count directly (team evacuations) record their own -- so
+// summing those five histograms' counts reproduces gc_count.
 #pragma once
 
 #include <atomic>
@@ -50,6 +50,7 @@ enum class Ev : std::uint8_t {
   kGcJoin,       // join-time stopped-world collection pause
   kGcInternal,   // internal-heap stopped-world collection pause
   kGcStw,        // STW runtime's recruited-team collection pause
+  kGcGlobal,     // local-heap runtime's global-heap collection pause
   kEmergency,    // whole emergency cascade (its collections also
                  // record individually under the kinds above)
   kGateStall,    // time a mutator sat parked at a safepoint gate
@@ -63,6 +64,7 @@ inline const char* kind_name(Ev e) {
     case Ev::kGcJoin:    return "gc_join";
     case Ev::kGcInternal: return "gc_internal";
     case Ev::kGcStw:     return "gc_stw";
+    case Ev::kGcGlobal:  return "gc_global";
     case Ev::kEmergency: return "emergency_cascade";
     case Ev::kGateStall: return "gate_stall";
     case Ev::kPromotion: return "promotion";
@@ -71,7 +73,7 @@ inline const char* kind_name(Ev e) {
 }
 
 constexpr unsigned kKinds = static_cast<unsigned>(Ev::kCount);
-constexpr unsigned kPauseKinds = 4;  // the first four Ev values
+constexpr unsigned kPauseKinds = 5;  // the first five Ev values
 
 // The pause kind a collection records under, derived from the ambient
 // phase: a leaf collection driven inside a join-GC (or internal-GC)
@@ -80,6 +82,7 @@ inline Ev pause_kind_from_phase(phase::Phase p) {
   switch (p) {
     case phase::Phase::kJoinGc:     return Ev::kGcJoin;
     case phase::Phase::kInternalGc: return Ev::kGcInternal;
+    case phase::Phase::kGlobalGc:   return Ev::kGcGlobal;
     default:                        return Ev::kGcLeaf;
   }
 }

@@ -46,10 +46,13 @@
 //     live across them goes in a RootFrame Local. (Collectors move
 //     objects: leaf GC under seq/lh/hier, any alloc-triggered STW cycle
 //     under stw.)
-//   - A branch hands heap results to its parent by ctx.publish-ing them
-//     and writing the published pointer into a parent Local as its LAST
-//     heap action (no allocations afterwards). Branch return values carry
-//     scalars only.
+//   - A branch may RETURN a raw Object*: fork2 carries each branch's
+//     result through a rooted channel (ResultChannel below) -- the value
+//     is published on the executing worker and parked in a parent-frame
+//     Local until the join consumes it, so any collection in between
+//     rewrites it like every other root. Results of other types carry
+//     scalars only (an Object* buried inside a struct return is NOT
+//     rooted; publish it into a parent Local instead).
 //   - Shared structures both branches touch are listed in fork2's roots.
 //
 // bench_common::measure() consumes exactly this surface (stats(),
@@ -91,6 +94,68 @@ BranchResult<Fn, Ctx> invoke_branch(Fn& fn, Ctx& c) {
   }
 }
 
+// Rooted branch-result carrier. A branch returning a raw Object* used
+// to park it in an unregistered stack slot from branch completion
+// until the parent consumed it after the join -- any collection inside
+// that window (a GC-stress join cycle, a helping joiner's leaf
+// collection, a stopped-world pause) could relocate the object and
+// leave the return value stale. The channel closes the hole:
+//
+//   * construction registers ONE Local in the PARENT's frame chain,
+//     on the parent's thread, before the branch can possibly run;
+//   * store() runs on whichever thread executes the branch: it
+//     publishes the value (identity under seq/stw/hier; promotion
+//     under local heaps, where a branch-local object must escape its
+//     worker to survive the hand-off anyway) and writes the slot --
+//     safe against a concurrent scan of the parent's frames because
+//     Local slots are atomic and collectors rewrite only pointers
+//     into the heap being collected (core/gc_leaf.hpp);
+//   * take() re-reads the slot after the join, by which time any
+//     collection has rewritten it like every other root.
+//
+// Non-pointer results pass through a plain buffer, so fork2 call
+// sites need no special cases -- and pay no frame push for them.
+template <class Ctx, class R>
+class ResultChannel {
+  static constexpr bool kRooted = std::is_same_v<R, Object*>;
+
+ public:
+  explicit ResultChannel(Ctx& parent) {
+    if constexpr (kRooted) {
+      frame_.emplace(parent);
+      slot_ = frame_->local(nullptr);
+    }
+  }
+  ResultChannel(const ResultChannel&) = delete;
+  ResultChannel& operator=(const ResultChannel&) = delete;
+
+  void store(Ctx& executing, R&& v) {
+    if constexpr (kRooted) {
+      slot_.set(executing.publish(v));
+    } else {
+      (void)executing;
+      out_.emplace(std::move(v));
+    }
+  }
+
+  R take() {
+    if constexpr (kRooted) {
+      return slot_.get();
+    } else {
+      return std::move(*out_);
+    }
+  }
+
+ private:
+  struct Nothing {};
+  [[no_unique_address]] std::conditional_t<kRooted, std::optional<RootFrame>,
+                                           Nothing>
+      frame_;
+  [[no_unique_address]] std::conditional_t<kRooted, Local, Nothing> slot_;
+  [[no_unique_address]] std::conditional_t<kRooted, Nothing, std::optional<R>>
+      out_;
+};
+
 // The spawn/join half of fork2, shared by every runtime: push the
 // right branch at construction, then join() after the left branch ran
 // -- popping it back for inline execution when unstolen (the common
@@ -99,15 +164,17 @@ BranchResult<Fn, Ctx> invoke_branch(Fn& fn, Ctx& c) {
 // goes in Ctx::branch_enter()/branch_exit(), which run on the thread
 // that actually executes the branch.
 //
-// Stack-allocated by fork2 and joined before the frame dies, exactly
-// like the tasks core/sched.hpp documents.
+// `parent` is the forking context: it owns the rooted result slot
+// (see ResultChannel) and must outlive the join. Stack-allocated by
+// fork2 and joined before the frame dies, exactly like the tasks
+// core/sched.hpp documents.
 template <class Ctx, class G>
 class SpawnedBranch final : public WorkStealPool::Task {
  public:
   using RB = BranchResult<G, Ctx>;
 
-  SpawnedBranch(WorkStealPool* pool, G& g, Ctx& ctx)
-      : pool_(pool), g_(&g), ctx_(&ctx) {
+  SpawnedBranch(WorkStealPool* pool, G& g, Ctx& ctx, Ctx& parent)
+      : pool_(pool), g_(&g), ctx_(&ctx), chan_(parent) {
     pool_->push(this);
   }
   SpawnedBranch(const SpawnedBranch&) = delete;
@@ -116,7 +183,7 @@ class SpawnedBranch final : public WorkStealPool::Task {
   void execute() override {
     ctx_->branch_enter();
     try {
-      out_.emplace(invoke_branch(*g_, *ctx_));
+      chan_.store(*ctx_, invoke_branch(*g_, *ctx_));
     } catch (...) {
       err_ = std::current_exception();
     }
@@ -140,13 +207,13 @@ class SpawnedBranch final : public WorkStealPool::Task {
   }
 
   std::exception_ptr error() const { return err_; }
-  RB&& take_result() { return std::move(*out_); }
+  RB take_result() { return chan_.take(); }
 
  private:
   WorkStealPool* pool_;
   G* g_;
   Ctx* ctx_;
-  std::optional<RB> out_;
+  ResultChannel<Ctx, RB> chan_;
   std::exception_ptr err_;
   std::atomic<bool> done_{false};
 };

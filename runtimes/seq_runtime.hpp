@@ -180,7 +180,10 @@ class SeqRuntime {
   }
 
   // fork2 degenerates to "run f, then g, on the same task" -- the
-  // paper's sequential elision.
+  // paper's sequential elision. The left result still travels through
+  // a rooted channel: g's allocations can trigger a leaf collection
+  // that moves an Object* f returned (the same hole the parallel
+  // runtimes have across the join).
   template <class F, class G>
   static auto fork2(Ctx& ctx, std::initializer_list<Local> roots, F&& f,
                     G&& g) {
@@ -188,9 +191,10 @@ class SeqRuntime {
     ctx.rt_->stats_.local().forks.fetch_add(1, std::memory_order_relaxed);
     using RA = rtapi::BranchResult<F, Ctx>;
     using RB = rtapi::BranchResult<G, Ctx>;
-    RA ra = rtapi::invoke_branch(f, ctx);
+    rtapi::ResultChannel<Ctx, RA> ch_a(ctx);
+    ch_a.store(ctx, rtapi::invoke_branch(f, ctx));
     RB rb = rtapi::invoke_branch(g, ctx);
-    return std::pair<RA, RB>(std::move(ra), std::move(rb));
+    return std::pair<RA, RB>(ch_a.take(), std::move(rb));
   }
 
  private:

@@ -220,22 +220,29 @@ class StwRuntime {
     StwRuntime* rt = ctx.rt_;
     rt->stats_.local().forks.fetch_add(1, std::memory_order_relaxed);
 
-    // The parent leaves the running set FIRST: a pending collection
-    // must never wait on a task that is blocked in fork2 rather than
-    // parked at a safepoint. Its frames stay registered (and scanned)
-    // through its Ctx for the whole join.
-    rt->deactivate();
     Ctx ctx_a(rt);
     Ctx ctx_b(rt);
 
+    // Both result channels push a Local onto the PARENT's frame chain
+    // (a plain-pointer list the collector walks), so they must be
+    // constructed while the parent is still in the running set -- a
+    // push after deactivate() could race a collector already scanning
+    // the chain. Spawning before deactivating is fine: the parent
+    // never blocks until the join below.
+    rtapi::ResultChannel<Ctx, RA> ch_a(ctx);
     rtapi::SpawnedBranch<Ctx, std::remove_reference_t<G>> task_b(
-        &rt->pool_, g, ctx_b);
+        &rt->pool_, g, ctx_b, ctx);
 
-    std::optional<RA> ra;
+    // The parent now leaves the running set: a pending collection must
+    // never wait on a task that is blocked in fork2 rather than parked
+    // at a safepoint. Its frames stay registered (and scanned) through
+    // its Ctx for the whole join.
+    rt->deactivate();
+
     std::exception_ptr err_a;
     ctx_a.branch_enter();
     try {
-      ra.emplace(rtapi::invoke_branch(f, ctx_a));
+      ch_a.store(ctx_a, rtapi::invoke_branch(f, ctx_a));
     } catch (...) {
       err_a = std::current_exception();
     }
@@ -255,7 +262,7 @@ class StwRuntime {
     if (task_b.error()) {
       std::rethrow_exception(task_b.error());
     }
-    return std::pair<RA, RB>(std::move(*ra), task_b.take_result());
+    return std::pair<RA, RB>(ch_a.take(), task_b.take_result());
   }
 
  private:

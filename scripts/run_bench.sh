@@ -14,6 +14,10 @@
 #   serve                -> BENCH_serve.json     (steady-state serving: req/s,
 #                                                latency percentiles, RSS +
 #                                                fragmentation per runtime)
+#   serve --runtime=localheap sweep
+#                        -> BENCH_global_gc.txt  (localheap steady-state RSS
+#                                                vs gc_global_threshold: off /
+#                                                1 MB / 16 MB)
 #
 # Usage: scripts/run_bench.sh [profile] [--quick] [--bench=FILTER]
 #   profile          observability mode: instead of the baselines above,
@@ -181,6 +185,26 @@ if [ -z "$FILTER" ]; then
   "$BUILD/serve" "${SERVE_ARGS[@]}"
 fi
 
+# Global-collection baseline: the localheap runtime's stopped-world
+# depth-0 cycle, swept over the promotion threshold on the serve
+# workload (the design it exists for: bounding the promotion sink's
+# steady-state footprint). 0 restores the pure paper-baseline sink,
+# so the sweep records the leak-vs-pause trade directly.
+if [ -z "$FILTER" ]; then
+  GGC_ARGS=("--procs=2" "--runtime=localheap")
+  if [ "$QUICK" -eq 1 ]; then
+    GGC_ARGS+=("--quick" "--duration=1")
+  else
+    GGC_ARGS+=("--duration=3")
+  fi
+  {
+    for thr in 0 1048576 16777216; do
+      echo "== localheap serve, PARMEM_GC_GLOBAL_THRESHOLD=$thr =="
+      PARMEM_GC_GLOBAL_THRESHOLD=$thr "$BUILD/serve" "${GGC_ARGS[@]}"
+    done
+  } | tee "$OUT_DIR/BENCH_global_gc.txt"
+fi
+
 echo
 echo "results written: $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_fig08.txt," \
      "$OUT_DIR/BENCH_runtimes.json" \
@@ -188,5 +212,5 @@ echo "results written: $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_fig08.txt," \
 if [ -z "$FILTER" ]; then
   echo "                 + $OUT_DIR/BENCH_parallel_gc.txt," \
        "$OUT_DIR/BENCH_internal_gc.txt, $OUT_DIR/BENCH_oom.txt," \
-       "$OUT_DIR/BENCH_serve.json"
+       "$OUT_DIR/BENCH_serve.json, $OUT_DIR/BENCH_global_gc.txt"
 fi

@@ -1,10 +1,13 @@
 // fork2: result plumbing, determinism across repeated parallel runs,
-// nesting depth, exception propagation, and the join-time heap merge
-// that keeps child-allocated objects alive at stable addresses.
+// nesting depth, exception propagation, the join-time heap merge that
+// keeps child-allocated objects alive at stable addresses, and the
+// rooted result channel that keeps raw Object* returns valid across
+// collections inside the join window.
 #include <cstdint>
 #include <stdexcept>
 
 #include "core/hier_runtime.hpp"
+#include "runtimes/localheap_runtime.hpp"
 #include "tests/test_util.hpp"
 
 namespace parmem {
@@ -138,6 +141,84 @@ PARMEM_TEST(fork2_void_branches) {
     CHECK_EQ(Ctx::read_i64_mut(Ctx::read_ptr(box.get(), 0), 0), 17);
     return 0;
   });
+}
+
+// Regression: a branch result carried as a raw Object* used to sit in
+// an unregistered stack slot from branch completion until the parent
+// consumed it after the join. Any collection in that window (here the
+// GC-stress join cycle) relocates the object and leaves the return
+// value stale. fork2's ResultChannel roots the returns, so they are
+// rewritten like every other root: each branch publishes its object
+// into a parent Local AND returns it raw, and after the join (which
+// collected and moved everything under stress) the returned pointer
+// must still be the IDENTICAL root the Local tracked.
+PARMEM_TEST(fork2_raw_return_rooted_across_join_collection) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  opts.gc_stress = true;  // forces a stopped-world collection per join
+  HierRuntime rt(opts);
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    Local box_a = frame.local(nullptr);
+    Local box_b = frame.local(nullptr);
+    auto make = [](Ctx& c, const Local& box, std::int64_t tag) {
+      Object* o = c.alloc(0, 1);
+      Ctx::init_i64(o, 0, tag);
+      box.set(c.publish(o));
+      return o;
+    };
+    auto [a, b] = HierRuntime::fork2(
+        ctx, {box_a, box_b},
+        [&](Ctx& c) { return make(c, box_a, 41); },
+        [&](Ctx& c) { return make(c, box_b, 43); });
+    // The stress join collection moved both objects; the Locals were
+    // rewritten by root scanning, and the returns must match them.
+    CHECK(a == box_a.get());
+    CHECK(b == box_b.get());
+    CHECK_EQ(Ctx::read_i64_imm(a, 0), 41);
+    CHECK_EQ(Ctx::read_i64_imm(b, 0), 43);
+    return 0;
+  });
+  CHECK(rt.stats().gc_count > 0);
+}
+
+// Same hole under the local-heap runtime, where the window contains
+// stopped-world GLOBAL collections: the left branch returns its
+// (promoted) result raw, then the right branch churns enough
+// allocation that GC-stress safepoints collect the global heap and
+// move the master before the parent consumes the return.
+PARMEM_TEST(fork2_raw_return_rooted_across_global_collection) {
+  using LCtx = LhRuntime::Ctx;
+  LhRuntime::Options opts;
+  opts.workers = 2;
+  opts.gc_stress = true;
+  LhRuntime rt(opts);
+  rt.run([](LCtx& ctx) {
+    RootFrame frame(ctx);
+    Local box = frame.local(nullptr);
+    auto [a, b] = LhRuntime::fork2(
+        ctx, {box},
+        [&box](LCtx& c) {
+          Object* o = c.alloc(0, 1);
+          LCtx::init_i64(o, 0, 59);
+          box.set(c.publish(o));  // also promotes: depth-0 master
+          return o;
+        },
+        [](LCtx& c) {
+          RootFrame f(c);
+          Local junk = f.local(nullptr);
+          for (int i = 0; i < 4000; ++i) {  // several chunk refills ->
+            junk.set(c.alloc(1, 2));        // stressed global cycles
+          }
+          return 0;
+        });
+    (void)b;
+    CHECK_EQ(heap_of(a)->depth(), 0u);  // the channel published it
+    CHECK(a == box.get());
+    CHECK_EQ(LCtx::read_i64_imm(a, 0), 59);
+    return 0;
+  });
+  CHECK(rt.stats().global_gc_count > 0);
 }
 
 PARMEM_TEST(fork2_propagates_exceptions) {

@@ -210,13 +210,11 @@ PARMEM_TEST(gc_join_threshold_collects_merged_subtree) {
 // stopped-world all-frames join path (the same escalation heap budgets
 // use).
 //
-// Excluded from the CI GC-stress row: this pins a JOIN-collection
-// guarantee, but PARMEM_GC_STRESS also forces a LEAF collection at
-// every allocation, and leaf collections root only the owner task's
-// frames by design -- so the churn loop below would legitimately drop
-// the ancestor-published object under stress mode. Keeping a result
-// alive across further owner-side allocation still requires publishing
-// into the immediate parent's Local (the portability contract).
+// Also sound under the CI GC-stress row: stress additionally forces a
+// LEAF collection at every allocation, and leaf collections root the
+// whole ancestor chain (Ctx::collect_now walks parent_), so the churn
+// loop's stress collections keep the ancestor-published object alive
+// too -- the guarantee gc_leaf_ancestor_publish_survives pins below.
 PARMEM_TEST(gc_join_grandparent_publish_survives) {
   HierRuntime::Options opts;
   opts.workers = 2;
@@ -257,6 +255,55 @@ PARMEM_TEST(gc_join_grandparent_publish_survives) {
     CHECK_EQ(Ctx::read_i64_mut(box.get(), 0), 4242);
     return 0;
   });
+}
+
+// Regression (leaf-GC soundness): same ancestor-publish shape as
+// above, but the collections are plain BUDGET-triggered leaf cycles --
+// no join threshold, no stopped world. The publisher's object merges
+// up into the depth-1 branch's heap at the inner join; `box` (a ROOT
+// frame Local) is then its only reference. The pre-fix leaf collector
+// rooted only the owner task's own frames, so the depth-1 branch's
+// churn-triggered collections dropped the object and recycled its
+// chunk. collect_now now roots the whole ancestor chain (frozen while
+// the owner runs -- every ancestor is blocked in fork2), which keeps
+// it alive and rewrites `box` when it moves.
+PARMEM_TEST(gc_leaf_ancestor_publish_survives) {
+  HierRuntime::Options opts;
+  opts.workers = 2;
+  opts.gc_min_budget = 1 << 16;  // 64 KB: churn forces many leaf cycles
+  HierRuntime rt(opts);
+  rt.run([](Ctx& ctx) {
+    RootFrame frame(ctx);
+    Local box = frame.local(nullptr);
+    HierRuntime::fork2(
+        ctx, {box},
+        [&box](Ctx& c) {
+          HierRuntime::fork2(
+              c, {box},
+              [&box](Ctx& cc) {
+                RootFrame f(cc);
+                Local keep = f.local(cc.alloc(0, 1));
+                Ctx::init_i64(keep.get(), 0, 2424);
+                box.set(cc.publish(keep.get()));
+                return std::int64_t{0};
+              },
+              [](Ctx&) { return std::int64_t{0}; });
+          // Enough garbage to blow the tiny budget repeatedly while
+          // `box` is the published object's only root.
+          for (int i = 0; i < 20000; ++i) {
+            Object* junk = c.alloc(0, 3);
+            Ctx::init_i64(junk, 0, -1);
+            Ctx::init_i64(junk, 1, -1);
+            Ctx::init_i64(junk, 2, -1);
+          }
+          return std::int64_t{0};
+        },
+        [](Ctx&) { return std::int64_t{0}; });
+    CHECK(box.get() != nullptr);
+    CHECK_EQ(Ctx::read_i64_mut(box.get(), 0), 2424);
+    return 0;
+  });
+  CHECK(rt.stats().gc_count > 0);
 }
 
 }  // namespace
